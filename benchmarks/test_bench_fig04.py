@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 4 (motivation: memory growth, latency breakdown)."""
+
+from repro.experiments import fig04_motivation
+
+
+def test_bench_fig04_motivation(benchmark):
+    result = benchmark(fig04_motivation.run)
+    assert any(row["exceeds_edge_gpu"] for row in result.memory_rows)
+    assert result.overhead_40k["retrieval"] > 0.5

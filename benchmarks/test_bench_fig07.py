@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 7 (key similarity and hash-bit fidelity)."""
+
+from repro.experiments import fig07_similarity
+
+
+def test_bench_fig07_similarity(benchmark):
+    result = benchmark.pedantic(fig07_similarity.run, kwargs={"num_frames": 10}, rounds=1, iterations=1)
+    assert result.correlation > 0.5

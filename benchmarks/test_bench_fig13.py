@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 13 (latency & energy efficiency vs GPUs)."""
+
+from repro.experiments import fig13_latency_energy
+
+
+def test_bench_fig13_latency_energy(benchmark):
+    results = benchmark(fig13_latency_energy.run)
+    assert all(v > 1.0 for v in results["edge"].frame_speedup_b1.values())
+    assert all(v > 1.0 for v in results["server"].frame_speedup_b1.values())

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 14 (end-to-end latency breakdown)."""
+
+from repro.experiments import fig14_e2e_breakdown
+
+
+def test_bench_fig14_e2e_breakdown(benchmark):
+    result = benchmark(fig14_e2e_breakdown.run)
+    assert result.vrex_reduction[40_000] > result.vrex_reduction[1_000] > 1.0

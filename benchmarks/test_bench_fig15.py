@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 15 (throughput vs Oaken, OOM crossovers)."""
+
+from repro.experiments import fig15_throughput_oaken
+
+
+def test_bench_fig15_throughput(benchmark):
+    result = benchmark(fig15_throughput_oaken.run)
+    assert result.first_oom_length("AGX Orin") is not None
+    assert result.first_oom_length("V-Rex8") is None

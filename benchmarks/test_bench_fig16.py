@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 16 (hardware ablation study)."""
+
+from repro.experiments import fig16_ablation_hw
+
+
+def test_bench_fig16_ablation(benchmark):
+    result = benchmark(fig16_ablation_hw.run)
+    assert result.point("V-Rex8 All").speedup_vs_baseline > result.point("AGX + ReSV").speedup_vs_baseline

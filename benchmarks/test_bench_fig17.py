@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 17 (bandwidth usage / overlap analysis)."""
+
+from repro.experiments import fig17_bandwidth
+
+
+def test_bench_fig17_bandwidth(benchmark):
+    result = benchmark(fig17_bandwidth.run)
+    assert result.prediction_hidden
+    assert result.retrieval_bandwidth_fraction < 0.05

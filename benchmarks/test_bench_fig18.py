@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 18 (roofline analysis)."""
+
+from repro.experiments import fig18_roofline
+
+
+def test_bench_fig18_roofline(benchmark):
+    result = benchmark(fig18_roofline.run)
+    assert result.utilisation_gain("V-Rex8", "AGX + FlexGen") > 2.0

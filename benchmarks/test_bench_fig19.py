@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 19 (ReSV ablation: accuracy and speedup)."""
+
+from repro.experiments import fig19_resv_ablation
+from repro.video.coin import CoinTask
+
+
+def test_bench_fig19_resv_ablation(benchmark):
+    result = benchmark.pedantic(
+        fig19_resv_ablation.run,
+        kwargs={"num_episodes": 1, "tasks": (CoinTask.RETRIEVAL_AT_FRAME, CoinTask.NEXT_STEP)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.speedup["ReSV"] > result.speedup["ReSV w/o clustering"] >= 1.0

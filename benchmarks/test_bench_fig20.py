@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 20 (per-layer / per-head retrieval ratios)."""
+
+from repro.experiments import fig20_retrieval_ratio
+
+
+def test_bench_fig20_retrieval_ratio(benchmark):
+    result = benchmark.pedantic(fig20_retrieval_ratio.run, kwargs={"num_steps": 6}, rounds=1, iterations=1)
+    assert result.average["ReSV"] < result.average["ReKV"]

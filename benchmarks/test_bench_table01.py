@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (hardware specifications)."""
+
+from repro.hw.specs import table_i_rows
+
+
+def test_bench_table01_specs(benchmark):
+    rows = benchmark(table_i_rows)
+    assert len(rows) == 4

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (accuracy & retrieval ratios on COIN)."""
+
+from repro.experiments import table02_accuracy
+from repro.video.coin import CoinTask
+
+
+def test_bench_table02_accuracy(benchmark):
+    result = benchmark.pedantic(
+        table02_accuracy.run,
+        kwargs={"num_episodes": 1, "tasks": (CoinTask.RETRIEVAL_AT_FRAME, CoinTask.NEXT_STEP), "answer_tokens": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.average_frame_ratio("ReSV") < result.average_frame_ratio("ReKV")

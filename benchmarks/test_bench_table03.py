@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table III (area / power breakdown)."""
+
+from repro.experiments import table03_area_power
+
+
+def test_bench_table03_area_power(benchmark):
+    result = benchmark(table03_area_power.run)
+    assert result.dre_area_fraction < 0.03

@@ -1,0 +1,77 @@
+"""Accuracy vs retrieval-budget trade-off study (ReSV's WiCSum threshold).
+
+Sweeps the WiCSum threshold ratio Th_r-wics and, for each setting, measures
+top-1 accuracy on the synthetic COIN benchmark together with the average
+frame-stage retrieval ratio — the trade-off curve a deployment would tune
+(paper Sec. VI-E uses 0.3).  A fixed top-k baseline (InfiniGenP) is included
+for reference.
+
+Run with:  python examples/accuracy_vs_budget.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.config import ReSVConfig
+from repro.core import ReSVRetriever
+from repro.core.baselines import make_infinigen_p
+from repro.video.coin import CoinTask
+from repro.video.qa import evaluate_method
+
+THRESHOLDS = (0.1, 0.3, 0.5, 0.8)
+TASK = CoinTask.RETRIEVAL_AT_FRAME
+EPISODES = 3
+
+
+def resv_factory(threshold: float):
+    def factory(model_config):
+        return ReSVRetriever(
+            model_config.num_layers,
+            model_config.num_kv_heads,
+            model_config.head_dim,
+            ReSVConfig(wicsum_ratio=threshold),
+        )
+
+    return factory
+
+
+def main() -> None:
+    rows = []
+    vanilla = evaluate_method("vanilla", None, TASK, num_episodes=EPISODES, answer_tokens=1)
+    rows.append(["vanilla (full attention)", "-", round(100 * vanilla.accuracy, 1), 100.0])
+
+    for threshold in THRESHOLDS:
+        result = evaluate_method(
+            f"resv@{threshold}", resv_factory(threshold), TASK,
+            num_episodes=EPISODES, answer_tokens=1,
+        )
+        rows.append(
+            [
+                f"ReSV (Th_r-wics = {threshold})",
+                threshold,
+                round(100 * result.accuracy, 1),
+                round(100 * result.frame_retrieval_ratio, 1),
+            ]
+        )
+
+    topk = evaluate_method(
+        "infinigen_p", lambda _cfg: make_infinigen_p(), TASK,
+        num_episodes=EPISODES, answer_tokens=1,
+    )
+    rows.append(["InfiniGenP (fixed top-50%)", "-", round(100 * topk.accuracy, 1),
+                 round(100 * topk.frame_retrieval_ratio, 1)])
+
+    print(
+        format_table(
+            ["configuration", "threshold", "top-1 accuracy (%)", "frame retrieval ratio (%)"],
+            rows,
+            title="Accuracy vs retrieval budget on the synthetic COIN benchmark",
+        )
+    )
+    print("\nTakeaway: WiCSum's threshold trades tokens for accuracy smoothly; "
+          "around the paper's 0.3 setting ReSV matches full attention while "
+          "fetching a fraction of the cache, unlike a fixed top-k budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Edge deployment what-if study using the performance plane.
+
+Sweeps KV cache lengths on the Jetson-class edge platform and reports, for
+every retrieval system of Fig. 13(a), the per-frame latency, achievable FPS,
+whether the deployment is real-time, and the energy per frame — i.e. the
+numbers a practitioner would look at before picking a KV cache management
+strategy for an edge streaming-video assistant.
+
+Run with:  python examples/edge_deployment_sim.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import REAL_TIME_FPS, fps_from_latency_ms
+from repro.analysis.reporting import format_table
+from repro.sim.pipeline import LatencyModel
+from repro.sim.systems import edge_systems
+from repro.sim.workload import default_llm_workload
+
+KV_LENGTHS = (1_000, 10_000, 40_000)
+BATCH = 1
+
+
+def main() -> None:
+    model = LatencyModel()
+    systems = edge_systems(default_llm_workload().model_bytes())
+
+    rows = []
+    for name, system in systems.items():
+        for kv_len in KV_LENGTHS:
+            frame = model.frame_step(system, kv_len, BATCH)
+            tpot = model.generation_step(system, kv_len, BATCH)
+            energy = model.step_energy_j(system, frame)
+            fps = fps_from_latency_ms(frame.total_ms, BATCH)
+            rows.append(
+                [
+                    name,
+                    f"{kv_len // 1000}K",
+                    round(frame.total_ms, 1),
+                    round(fps, 1),
+                    fps >= REAL_TIME_FPS,
+                    round(tpot.total_ms, 1),
+                    round(energy, 2),
+                ]
+            )
+
+    print(
+        format_table(
+            ["system", "KV cache", "frame latency (ms)", "FPS", "real-time", "TPOT (ms)", "energy/frame (J)"],
+            rows,
+            title="Edge deployment study (Jetson AGX Orin class, batch 1)",
+        )
+    )
+
+    print("\nTakeaway: only the V-Rex8 configuration stays above "
+          f"{REAL_TIME_FPS:.0f} FPS across the whole sweep; GPU baselines fall "
+          "behind as the cache (and the PCIe traffic to fetch it) grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Metrics, breakdowns and plain-text reporting for experiment drivers."""
+
+from repro.analysis.breakdown import (
+    StageBreakdown,
+    retrieval_overhead_fractions,
+    scenario_breakdowns,
+)
+from repro.analysis.metrics import (
+    REAL_TIME_FPS,
+    efficiency_gain,
+    fps_from_latency_ms,
+    geometric_mean,
+    is_real_time,
+    pearson_correlation,
+    speedup,
+    speedup_range,
+)
+from repro.analysis.reporting import format_breakdown, format_series, format_table
+
+__all__ = [
+    "REAL_TIME_FPS",
+    "StageBreakdown",
+    "efficiency_gain",
+    "format_breakdown",
+    "format_series",
+    "format_table",
+    "fps_from_latency_ms",
+    "geometric_mean",
+    "is_real_time",
+    "pearson_correlation",
+    "retrieval_overhead_fractions",
+    "scenario_breakdowns",
+    "speedup",
+    "speedup_range",
+]

@@ -1,0 +1,67 @@
+"""Latency breakdown helpers shared by the Fig. 4/14/16 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.pipeline import LatencyModel, ScenarioResult
+from repro.sim.systems import SystemConfig
+
+
+@dataclass
+class StageBreakdown:
+    """End-to-end latency split into the paper's three reported stages."""
+
+    system: str
+    kv_len: int
+    vision_fraction: float
+    prefill_fraction: float
+    generation_fraction: float
+    total_s: float
+
+    @classmethod
+    def from_scenario(cls, scenario: ScenarioResult) -> "StageBreakdown":
+        fractions = scenario.breakdown_fractions()
+        return cls(
+            system=scenario.system,
+            kv_len=scenario.kv_len,
+            vision_fraction=fractions["vision"],
+            prefill_fraction=fractions["prefill"],
+            generation_fraction=fractions["generation"],
+            total_s=scenario.total_s,
+        )
+
+
+def scenario_breakdowns(
+    model: LatencyModel,
+    system: SystemConfig,
+    kv_lengths,
+    batch: int = 1,
+) -> list[StageBreakdown]:
+    """Stage breakdowns of the end-to-end scenario across cache lengths."""
+    return [
+        StageBreakdown.from_scenario(model.e2e_scenario(system, kv_len, batch))
+        for kv_len in kv_lengths
+    ]
+
+
+def retrieval_overhead_fractions(model: LatencyModel, system: SystemConfig, kv_len: int, batch: int = 1) -> dict:
+    """Fig. 4(c)-style split: LLM compute vs KV prediction vs KV fetch.
+
+    Fractions are reported over the *un-overlapped* work (the paper's
+    latency bars count prediction and fetch even where they are partially
+    hidden), plus the share of raw operations the retrieval accounts for.
+    """
+    step = model.frame_step(system, kv_len, batch)
+    compute = step.breakdown["llm_compute"]
+    prediction = step.breakdown["kv_prediction_raw"]
+    fetch = step.breakdown["kv_fetch_raw"]
+    total = compute + prediction + fetch
+    if total <= 0:
+        return {"llm": 0.0, "kv_prediction": 0.0, "kv_fetch": 0.0, "retrieval": 0.0}
+    return {
+        "llm": compute / total,
+        "kv_prediction": prediction / total,
+        "kv_fetch": fetch / total,
+        "retrieval": (prediction + fetch) / total,
+    }

@@ -1,0 +1,71 @@
+"""Derived metrics: FPS, TPOT, speedups, energy efficiency, real-time checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper calls >= 2 FPS "real-time" for streaming video inference.
+REAL_TIME_FPS = 2.0
+
+
+def fps_from_latency_ms(latency_ms: float, batch: int = 1) -> float:
+    """Frames per second given a per-frame latency."""
+    if latency_ms <= 0:
+        return 0.0
+    return batch * 1000.0 / latency_ms
+
+
+def is_real_time(latency_ms: float, batch: int = 1, threshold_fps: float = REAL_TIME_FPS) -> bool:
+    """Whether a per-frame latency sustains real-time streaming."""
+    return fps_from_latency_ms(latency_ms, batch) >= threshold_fps
+
+
+def speedup(baseline_latency: float, optimized_latency: float) -> float:
+    """Latency ratio baseline / optimized."""
+    if optimized_latency <= 0:
+        return float("inf")
+    return baseline_latency / optimized_latency
+
+
+def speedup_range(speedups: dict[int, float]) -> tuple[float, float]:
+    """(min, max) of a speedup series (how the paper quotes ranges like 2.2-7.3x)."""
+    values = list(speedups.values())
+    if not values:
+        return (0.0, 0.0)
+    return (float(min(values)), float(max(values)))
+
+
+def efficiency_gain(
+    baseline_gops_w: dict[int, float], optimized_gops_w: dict[int, float]
+) -> dict[int, float]:
+    """Per-point energy-efficiency improvement factors."""
+    gains = {}
+    for kv_len in sorted(set(baseline_gops_w) & set(optimized_gops_w)):
+        base = baseline_gops_w[kv_len]
+        if base > 0:
+            gains[kv_len] = optimized_gops_w[kv_len] / base
+    return gains
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient (used for the Fig. 7 hash-bit study)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size or x.size < 2:
+        raise ValueError("inputs must be equal-length with at least two samples")
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denom = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((x_centered * y_centered).sum() / denom)

@@ -1,0 +1,56 @@
+"""ReSV — the paper's core contribution — and the retrieval interface.
+
+Public surface:
+
+* :class:`repro.core.resv.ReSVRetriever` — hash-bit key clustering +
+  WiCSum thresholding.
+* :class:`repro.core.retrieval_base.KVRetriever` — the interface attention
+  layers consult.
+* :mod:`repro.core.baselines` — FlexGen / InfiniGen / InfiniGenP / ReKV /
+  Oaken comparison points.
+"""
+
+from repro.core.clustering import ClusterEntry, HashClusterTable
+from repro.core.hashbit import (
+    HashBitEncoder,
+    cosine_similarity_matrix,
+    hamming_distance,
+    pack_bits,
+    pairwise_hamming,
+    unpack_bits,
+)
+from repro.core.resv import ReSVRetriever
+from repro.core.retrieval_base import (
+    FRAME_STAGE,
+    GENERATION_STAGE,
+    FullRetriever,
+    KVRetriever,
+    Selection,
+)
+from repro.core.wicsum import (
+    WiCSumResult,
+    importance_scores,
+    wicsum_select,
+    wicsum_select_early_exit,
+)
+
+__all__ = [
+    "FRAME_STAGE",
+    "GENERATION_STAGE",
+    "ClusterEntry",
+    "FullRetriever",
+    "HashBitEncoder",
+    "HashClusterTable",
+    "KVRetriever",
+    "ReSVRetriever",
+    "Selection",
+    "WiCSumResult",
+    "cosine_similarity_matrix",
+    "hamming_distance",
+    "importance_scores",
+    "pack_bits",
+    "pairwise_hamming",
+    "unpack_bits",
+    "wicsum_select",
+    "wicsum_select_early_exit",
+]

@@ -1,0 +1,31 @@
+"""FlexGen-style baseline: offload the full KV cache and fetch all of it.
+
+FlexGen (Sheng et al., 2023) performs throughput-oriented offloading without
+selective retrieval, so functionally it is equivalent to full attention —
+its cost shows up entirely in the performance plane (PCIe transfer of the
+whole cache every layer).  The functional retriever therefore always selects
+every past token, which also gives the accuracy upper bound baselines are
+calibrated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.retrieval_base import KVRetriever, Selection
+from repro.model.kvcache import LayerKVCache
+
+
+class FlexGenRetriever(KVRetriever):
+    """Fetches the entire offloaded cache for every attention call."""
+
+    name = "flexgen"
+
+    def observe_keys(
+        self, layer: int, keys: np.ndarray, positions: np.ndarray, frame_id: int
+    ) -> None:
+        del layer, keys, positions, frame_id
+
+    def select(self, layer: int, queries: np.ndarray, cache: LayerKVCache) -> Selection:
+        del layer, queries
+        return Selection.full(cache.num_kv_heads, len(cache))

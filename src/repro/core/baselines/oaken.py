@@ -1,0 +1,106 @@
+"""Oaken-style online KV cache quantisation (functional model).
+
+Oaken (Kim et al., ISCA'25) is the state-of-the-art LLM accelerator the
+paper compares throughput against in Fig. 15.  Its key idea relevant here is
+online 4-bit KV cache quantisation, which multiplies the cache capacity of a
+fixed memory budget by ~4× but does not bound cache growth, so it still hits
+out-of-memory beyond ~20K tokens on an edge GPU.
+
+This module provides the functional piece — group-wise symmetric int4
+quantisation of key/value tensors — so accuracy-style experiments can
+measure the reconstruction error, while :mod:`repro.sim.systems` models the
+capacity/latency side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class QuantizedTensor:
+    """Group-wise symmetric quantised tensor."""
+
+    codes: np.ndarray  # int8 array holding values in [-2^(bits-1), 2^(bits-1) - 1]
+    scales: np.ndarray  # per-group scale factors
+    original_shape: tuple[int, ...]
+    group_size: int
+    bits: int
+
+    def storage_bytes(self) -> int:
+        """Bytes needed to store codes (packed) plus scales (fp16)."""
+        packed_codes = int(np.ceil(self.codes.size * self.bits / 8))
+        return packed_codes + self.scales.size * 2
+
+
+def quantize(tensor: np.ndarray, bits: int = 4, group_size: int = 32) -> QuantizedTensor:
+    """Quantise a tensor group-wise along its last dimension."""
+    if bits < 2 or bits > 8:
+        raise ValueError("bits must be in [2, 8]")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    original_shape = tensor.shape
+    flat = tensor.reshape(-1, original_shape[-1])
+    last = original_shape[-1]
+    group_size = min(group_size, last)
+    pad = (-last) % group_size
+    if pad:
+        flat = np.pad(flat, ((0, 0), (0, pad)))
+    grouped = flat.reshape(flat.shape[0], -1, group_size)
+    max_abs = np.max(np.abs(grouped), axis=-1, keepdims=True)
+    qmax = 2 ** (bits - 1) - 1
+    scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    codes = np.clip(np.round(grouped / scales), -qmax - 1, qmax).astype(np.int8)
+    return QuantizedTensor(
+        codes=codes,
+        scales=scales.squeeze(-1),
+        original_shape=original_shape,
+        group_size=group_size,
+        bits=bits,
+    )
+
+
+def dequantize(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the floating-point tensor from its quantised form."""
+    restored = quantized.codes.astype(np.float64) * quantized.scales[..., None]
+    flat = restored.reshape(restored.shape[0], -1)
+    last = quantized.original_shape[-1]
+    return flat[:, :last].reshape(quantized.original_shape)
+
+
+def quantization_error(tensor: np.ndarray, bits: int = 4, group_size: int = 32) -> float:
+    """Relative L2 reconstruction error of group-wise quantisation."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    restored = dequantize(quantize(tensor, bits=bits, group_size=group_size))
+    denom = np.linalg.norm(tensor)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(tensor - restored) / denom)
+
+
+class OakenKVStore:
+    """A KV store that keeps keys/values in int4, as Oaken's cache does."""
+
+    def __init__(self, bits: int = 4, group_size: int = 32):
+        self.bits = bits
+        self.group_size = group_size
+        self._keys: list[QuantizedTensor] = []
+        self._values: list[QuantizedTensor] = []
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Quantise and store one chunk of keys/values."""
+        self._keys.append(quantize(keys, self.bits, self.group_size))
+        self._values.append(quantize(values, self.bits, self.group_size))
+
+    def materialise(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dequantise the full store back to floating point."""
+        if not self._keys:
+            return np.zeros((0,)), np.zeros((0,))
+        keys = np.concatenate([dequantize(q) for q in self._keys], axis=-2)
+        values = np.concatenate([dequantize(q) for q in self._values], axis=-2)
+        return keys, values
+
+    def storage_bytes(self) -> int:
+        """Total quantised storage footprint."""
+        return sum(q.storage_bytes() for q in self._keys + self._values)

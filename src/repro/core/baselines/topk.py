@@ -1,0 +1,43 @@
+"""Shared utilities for fixed top-k KV selection baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def token_importance(queries: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Per-token importance: max dot-product score over all query rows.
+
+    ``queries`` has shape ``(rows, head_dim)`` and ``keys``
+    ``(tokens, head_dim)``.  Max-pooling over query rows matches how
+    multi-token prefill chunks are handled by top-k retrieval systems: a
+    token is worth fetching if *any* query needs it.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    if queries.ndim != 2 or keys.ndim != 2 or queries.shape[1] != keys.shape[1]:
+        raise ValueError("queries and keys must be 2-D with matching head_dim")
+    if queries.shape[0] == 0 or keys.shape[0] == 0:
+        return np.zeros((keys.shape[0],), dtype=np.float64)
+    scores = queries @ keys.T
+    return scores.max(axis=0)
+
+
+def topk_indices(importance: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest importance values (sorted ascending)."""
+    importance = np.asarray(importance, dtype=np.float64)
+    n = importance.shape[0]
+    k = int(np.clip(k, 0, n))
+    if k == 0:
+        return np.zeros((0,), dtype=np.int64)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    top = np.argpartition(-importance, k - 1)[:k]
+    return np.sort(top).astype(np.int64)
+
+
+def budget_from_ratio(cache_length: int, ratio: float) -> int:
+    """Token budget implied by a selection ratio (at least one token)."""
+    if cache_length <= 0:
+        return 0
+    return max(1, int(round(cache_length * ratio)))

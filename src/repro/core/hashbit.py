@@ -1,0 +1,97 @@
+"""Hash-bit generation: random-hyperplane signatures of key vectors.
+
+Paper Sec. IV-B: the key matrix of the current frame (after RoPE) is
+multiplied by :math:`N_{hp}` random hyperplanes and each element is
+binarised (``> 0`` → 1).  The resulting ultra-low-dimensional bit signature
+(≤ 0.5 % of the original dimension for Llama-3) lets the clustering step use
+cheap Hamming distances instead of cosine similarity; the paper reports a
+correlation of about 0.8 between the two (Fig. 7b), which we reproduce in
+``experiments.fig07_similarity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class HashBitEncoder:
+    """Encodes key vectors into ``n_bits``-wide binary signatures."""
+
+    def __init__(self, head_dim: int, n_bits: int, seed: int = 0):
+        if head_dim <= 0:
+            raise ValueError("head_dim must be positive")
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        self.head_dim = head_dim
+        self.n_bits = n_bits
+        rng = np.random.default_rng(seed)
+        # One random hyperplane per output bit.
+        self.hyperplanes = rng.normal(0.0, 1.0, size=(head_dim, n_bits))
+
+    def encode(self, keys: np.ndarray) -> np.ndarray:
+        """Return the sign-bit signature of each key.
+
+        Parameters
+        ----------
+        keys:
+            Array of shape ``(..., head_dim)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of shape ``(..., n_bits)``; ``True`` where the
+            hyperplane projection is strictly positive.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.shape[-1] != self.head_dim:
+            raise ValueError(
+                f"expected keys with last dimension {self.head_dim}, got {keys.shape}"
+            )
+        projected = keys @ self.hyperplanes
+        return projected > 0.0
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between two equal-shape bit arrays."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.count_nonzero(a ^ b, axis=-1)
+
+
+def pairwise_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between two sets of bit signatures.
+
+    ``a`` has shape ``(n, bits)`` and ``b`` ``(m, bits)``; the result is an
+    ``(n, m)`` integer matrix.  This mirrors the XOR-and-popcount operation
+    the HCU hardware unit performs.
+    """
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("inputs must be 2-D with matching bit width")
+    # XOR via broadcasting: (n, 1, bits) ^ (1, m, bits).
+    xor = a[:, None, :] ^ b[None, :, :]
+    return np.count_nonzero(xor, axis=-1)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack boolean signatures into uint8 words (hardware storage layout)."""
+    bits = np.asarray(bits, dtype=bool)
+    return np.packbits(bits, axis=-1)
+
+
+def unpack_bits(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`, restoring an ``n_bits``-wide signature."""
+    unpacked = np.unpackbits(np.asarray(packed, dtype=np.uint8), axis=-1)
+    return unpacked[..., :n_bits].astype(bool)
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity (used for the Fig. 7 correlation study)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=-1, keepdims=True), 1e-12)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=-1, keepdims=True), 1e-12)
+    return a_norm @ b_norm.T

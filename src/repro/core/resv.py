@@ -1,0 +1,207 @@
+"""ReSV: the paper's training-free dynamic KV cache retrieval algorithm.
+
+ReSV combines two mechanisms (paper Sec. IV):
+
+* **Hash-bit key clustering** — every new key (after RoPE) is reduced to an
+  :math:`N_{hp}`-bit random-hyperplane signature and clustered against the
+  per-layer, per-head hash cluster table using Hamming distance.  Clusters
+  capture the strong spatial-temporal similarity between tokens of adjacent
+  video frames, so the downstream selection step only has to score one
+  representative key per cluster.
+* **WiCSum thresholding** — the current queries are scored against the
+  representative keys and a weighted cumulative-sum threshold dynamically
+  decides how many clusters each layer/head keeps, instead of a fixed
+  top-k.
+
+The selected clusters are mapped back to token indices through the HC table
+and those tokens are the only past KV entries fetched for light attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ReSVConfig
+from repro.core.clustering import HashClusterTable
+from repro.core.hashbit import HashBitEncoder
+from repro.core.retrieval_base import KVRetriever, Selection
+from repro.core.wicsum import importance_scores, wicsum_select, wicsum_select_early_exit
+from repro.model.kvcache import LayerKVCache
+
+
+@dataclass
+class ReSVLayerState:
+    """Per-layer state: one HC table per KV head."""
+
+    tables: list[HashClusterTable]
+    observed_tokens: int = 0
+
+
+class ReSVRetriever(KVRetriever):
+    """Training-free dynamic KV cache retrieval (hash clustering + WiCSum)."""
+
+    name = "resv"
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_kv_heads: int,
+        head_dim: int,
+        config: ReSVConfig | None = None,
+        use_early_exit: bool = False,
+    ):
+        super().__init__()
+        self.num_layers = num_layers
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.config = config or ReSVConfig()
+        self.use_early_exit = use_early_exit
+        self.encoder = HashBitEncoder(
+            head_dim, self.config.n_hyperplanes, seed=self.config.seed
+        )
+        self._layers: list[ReSVLayerState] = []
+        self._init_state()
+        # Bookkeeping for the most recent select() call (used by tests and
+        # by the performance model to cost the KV-prediction step).
+        self.last_sort_fraction: float = 0.0
+        self.last_clusters_considered: int = 0
+
+    def _init_state(self) -> None:
+        self._layers = [
+            ReSVLayerState(
+                tables=[
+                    HashClusterTable(
+                        self.head_dim, self.config.n_hyperplanes, self.config.hamming_threshold
+                    )
+                    for _ in range(self.num_kv_heads)
+                ]
+            )
+            for _ in range(self.num_layers)
+        ]
+
+    def reset(self) -> None:
+        super().reset()
+        self._init_state()
+
+    # ------------------------------------------------------------------ #
+    # KVRetriever interface
+    # ------------------------------------------------------------------ #
+    def observe_keys(
+        self, layer: int, keys: np.ndarray, positions: np.ndarray, frame_id: int
+    ) -> None:
+        """Cluster the new keys of one chunk into the layer's HC tables."""
+        del frame_id
+        keys = np.asarray(keys, dtype=np.float64)
+        state = self._layers[layer]
+        new_tokens = keys.shape[1]
+        token_indices = np.arange(state.observed_tokens, state.observed_tokens + new_tokens)
+        if self.config.enable_clustering:
+            for kv_head in range(self.num_kv_heads):
+                hash_bits = self.encoder.encode(keys[kv_head])
+                state.tables[kv_head].update(keys[kv_head], hash_bits, token_indices)
+        else:
+            # Clustering disabled (ablation): every token is its own cluster.
+            for kv_head in range(self.num_kv_heads):
+                hash_bits = self.encoder.encode(keys[kv_head])
+                table = state.tables[kv_head]
+                table.hamming_threshold = -1
+                table.update(keys[kv_head], hash_bits, token_indices)
+        state.observed_tokens += new_tokens
+        del positions
+
+    def select(self, layer: int, queries: np.ndarray, cache: LayerKVCache) -> Selection:
+        """Pick past tokens for light attention via WiCSum over cluster scores."""
+        queries = np.asarray(queries, dtype=np.float64)
+        cache_length = len(cache)
+        if cache_length == 0:
+            return Selection.empty(self.num_kv_heads)
+
+        state = self._layers[layer]
+        num_heads = queries.shape[0]
+        group_size = num_heads // self.num_kv_heads
+        per_head_indices: list[np.ndarray] = []
+        clusters_considered = 0
+        sorted_elements = 0
+        total_elements = 0
+
+        for kv_head in range(self.num_kv_heads):
+            table = state.tables[kv_head]
+            if table.num_clusters == 0:
+                per_head_indices.append(np.arange(cache_length, dtype=np.int64))
+                continue
+            group = queries[kv_head * group_size : (kv_head + 1) * group_size]
+            rows = group.reshape(-1, self.head_dim)
+            key_clusters = table.key_clusters()
+            raw_scores = rows @ key_clusters.T
+            scores = importance_scores(raw_scores, self.head_dim)
+            token_counts = table.token_counts()
+            if not self.config.enable_wicsum:
+                selected_clusters = np.arange(table.num_clusters, dtype=np.int64)
+            elif self.use_early_exit:
+                result = wicsum_select_early_exit(
+                    scores, token_counts, self.config.wicsum_ratio
+                )
+                selected_clusters = result.selected_clusters
+                sorted_elements += result.sorted_elements
+                total_elements += result.total_elements
+            else:
+                result = wicsum_select(scores, token_counts, self.config.wicsum_ratio)
+                selected_clusters = result.selected_clusters
+                sorted_elements += result.sorted_elements
+                total_elements += result.total_elements
+
+            clusters_considered += table.num_clusters
+            token_indices = table.tokens_of(selected_clusters)
+            # The HC table also contains the current chunk's tokens (they are
+            # clustered on arrival, before the chunk is appended to the
+            # cache); selection must only return tokens already resident in
+            # the offloaded cache.
+            token_indices = token_indices[token_indices < cache_length]
+            if self.config.recent_window > 0:
+                recent_start = max(0, cache_length - self.config.recent_window)
+                recent = np.arange(recent_start, cache_length, dtype=np.int64)
+                token_indices = np.union1d(token_indices, recent)
+            per_head_indices.append(token_indices.astype(np.int64))
+
+        self.last_sort_fraction = (
+            sorted_elements / total_elements if total_elements else 0.0
+        )
+        self.last_clusters_considered = clusters_considered
+        return Selection(
+            per_kv_head_indices=per_head_indices,
+            num_clusters_considered=clusters_considered,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection helpers
+    # ------------------------------------------------------------------ #
+    def table(self, layer: int, kv_head: int) -> HashClusterTable:
+        """Access a specific HC table (used by tests and the KVMU mapping)."""
+        return self._layers[layer].tables[kv_head]
+
+    def mean_tokens_per_cluster(self) -> float:
+        """Average cluster occupancy across all layers and heads."""
+        values = [
+            table.mean_tokens_per_cluster()
+            for state in self._layers
+            for table in state.tables
+            if table.num_clusters > 0
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def hc_table_overhead_ratio(self, kv_bytes_per_token_per_layer_head: int) -> float:
+        """HC table size relative to the full KV cache it indexes."""
+        table_bytes = sum(
+            table.memory_overhead_bytes()
+            for state in self._layers
+            for table in state.tables
+        )
+        cache_bytes = sum(
+            state.observed_tokens * kv_bytes_per_token_per_layer_head * self.num_kv_heads
+            for state in self._layers
+        )
+        if cache_bytes == 0:
+            return 0.0
+        return table_bytes / cache_bytes

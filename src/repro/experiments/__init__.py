@@ -1,0 +1,38 @@
+"""Experiment drivers — one module per table/figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a structured result
+(dataclass or dict) and a ``main()`` entry point that prints the same rows
+or series the paper reports.  The benchmark harness under ``benchmarks/``
+wraps these drivers with pytest-benchmark so every figure/table can be
+regenerated with a single command (see DESIGN.md for the index).
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig04_motivation,
+    fig07_similarity,
+    fig13_latency_energy,
+    fig14_e2e_breakdown,
+    fig15_throughput_oaken,
+    fig16_ablation_hw,
+    fig17_bandwidth,
+    fig18_roofline,
+    fig19_resv_ablation,
+    fig20_retrieval_ratio,
+    table02_accuracy,
+    table03_area_power,
+)
+
+__all__ = [
+    "fig04_motivation",
+    "fig07_similarity",
+    "fig13_latency_energy",
+    "fig14_e2e_breakdown",
+    "fig15_throughput_oaken",
+    "fig16_ablation_hw",
+    "fig17_bandwidth",
+    "fig18_roofline",
+    "fig19_resv_ablation",
+    "fig20_retrieval_ratio",
+    "table02_accuracy",
+    "table03_area_power",
+]

@@ -1,0 +1,121 @@
+"""Fig. 4 — motivation: memory growth and retrieval overhead.
+
+(a) KV cache memory footprint of the streaming video LLM versus video
+    duration (10 FPS ingest, batch 4) against the edge GPU memory capacity.
+(b) End-to-end latency breakdown (vision/prefill/generation) of InfiniGen
+    on the A100 as the KV cache sequence length grows — prefill dominates.
+(c) Latency split of the prefill stage at 40K when InfiniGenP-style
+    retrieval is used: LLM compute vs KV prediction vs KV cache fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.breakdown import retrieval_overhead_fractions, scenario_breakdowns
+from repro.analysis.reporting import format_table
+from repro.hw.specs import A100, AGX_ORIN
+from repro.sim.pipeline import LatencyModel
+from repro.sim.systems import gpu_system, infinigen_p_policy, infinigen_policy
+from repro.sim.workload import default_llm_workload
+
+GiB = 1024**3
+
+#: Video durations (minutes) swept in Fig. 4(a).
+DURATIONS_MIN = (1, 2, 4, 6, 8, 10)
+#: KV cache lengths swept in Fig. 4(b).
+BREAKDOWN_KV_LENGTHS = (1_000, 10_000, 20_000, 40_000, 80_000)
+
+
+@dataclass
+class Fig04Result:
+    """All three panels of Fig. 4."""
+
+    memory_rows: list[dict] = field(default_factory=list)
+    breakdown_rows: list[dict] = field(default_factory=list)
+    overhead_40k: dict = field(default_factory=dict)
+
+
+def run(
+    fps: float = 10.0,
+    batch: int = 4,
+    durations_min=DURATIONS_MIN,
+    kv_lengths=BREAKDOWN_KV_LENGTHS,
+) -> Fig04Result:
+    """Compute all three panels."""
+    workload = default_llm_workload()
+    model = LatencyModel(llm=workload)
+    result = Fig04Result()
+
+    # Panel (a): memory footprint vs duration.
+    tokens_per_second = fps * workload.model.tokens_per_frame
+    for minutes in durations_min:
+        kv_len = int(minutes * 60 * tokens_per_second)
+        footprint = workload.memory_footprint_bytes(kv_len, batch)
+        total = sum(footprint.values())
+        result.memory_rows.append(
+            {
+                "duration_min": minutes,
+                "kv_len": kv_len,
+                "model_gib": footprint["model_parameters"] / GiB,
+                "kv_cache_gib": footprint["kv_cache"] / GiB,
+                "total_gib": total / GiB,
+                "exceeds_edge_gpu": total > AGX_ORIN.memory_capacity_bytes,
+            }
+        )
+
+    # Panel (b): end-to-end breakdown of InfiniGen on the A100.
+    system_b = gpu_system(A100, infinigen_policy(), name="A100 + InfiniGen")
+    for breakdown in scenario_breakdowns(model, system_b, kv_lengths, batch=1):
+        result.breakdown_rows.append(
+            {
+                "kv_len": breakdown.kv_len,
+                "vision_pct": 100.0 * breakdown.vision_fraction,
+                "prefill_pct": 100.0 * breakdown.prefill_fraction,
+                "generation_pct": 100.0 * breakdown.generation_fraction,
+                "total_s": breakdown.total_s,
+            }
+        )
+
+    # Panel (c): retrieval overhead split at 40K with prefill-stage top-k.
+    system_c = gpu_system(A100, infinigen_p_policy(), name="A100 + InfiniGenP")
+    result.overhead_40k = retrieval_overhead_fractions(model, system_c, kv_len=40_000, batch=1)
+    return result
+
+
+def main() -> Fig04Result:
+    """Print the three panels the way the paper reports them."""
+    result = run()
+    print(
+        format_table(
+            ["duration (min)", "KV tokens", "model (GiB)", "KV cache (GiB)", "total (GiB)", "> edge GPU"],
+            [
+                [r["duration_min"], r["kv_len"], r["model_gib"], r["kv_cache_gib"], r["total_gib"], r["exceeds_edge_gpu"]]
+                for r in result.memory_rows
+            ],
+            title="Fig. 4(a) — memory footprint vs video duration (10 FPS, batch 4)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["KV length", "vision+MLP %", "prefill %", "generation %", "total (s)"],
+            [
+                [r["kv_len"], r["vision_pct"], r["prefill_pct"], r["generation_pct"], r["total_s"]]
+                for r in result.breakdown_rows
+            ],
+            title="Fig. 4(b) — end-to-end latency breakdown (A100 + InfiniGen)",
+        )
+    )
+    print()
+    o = result.overhead_40k
+    print("Fig. 4(c) — prefill latency split at 40K (A100 + InfiniGenP):")
+    print(
+        f"  LLM {100 * o['llm']:.0f}%  KV prediction {100 * o['kv_prediction']:.0f}%  "
+        f"KV fetch {100 * o['kv_fetch']:.0f}%  (retrieval total {100 * o['retrieval']:.0f}%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

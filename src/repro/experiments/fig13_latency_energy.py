@@ -1,0 +1,118 @@
+"""Fig. 13 — latency and energy-efficiency comparison against GPUs.
+
+Sweeps KV cache lengths 1K-40K for the edge (AGX Orin) and server (A100)
+line-ups: FlexGen, InfiniGen, InfiniGenP, ReKV and V-Rex, reporting
+per-frame latency, TPOT, energy efficiency (GOPS/W) and the headline
+speedup / efficiency-gain ranges the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import speedup_range
+from repro.analysis.reporting import format_series, format_table
+from repro.sim.pipeline import LatencyModel
+from repro.sim.runner import DEFAULT_KV_LENGTHS, ExperimentRunner, SweepResult
+from repro.sim.systems import edge_systems, server_systems
+from repro.sim.workload import default_llm_workload
+
+
+@dataclass
+class Fig13Result:
+    """Sweeps and headline ranges for one platform (edge or server)."""
+
+    platform: str
+    baseline: str
+    vrex: str
+    sweep: SweepResult
+    frame_speedup_b1: dict[int, float] = field(default_factory=dict)
+    frame_speedup_large_batch: dict[int, float] = field(default_factory=dict)
+    tpot_speedup_b1: dict[int, float] = field(default_factory=dict)
+    energy_gain_frame_b1: dict[int, float] = field(default_factory=dict)
+    energy_gain_tpot_b1: dict[int, float] = field(default_factory=dict)
+    vrex_frame_latency_ms: dict[int, float] = field(default_factory=dict)
+    vrex_fps: dict[int, float] = field(default_factory=dict)
+
+
+def _platform_result(
+    platform: str,
+    systems: dict,
+    baseline: str,
+    vrex: str,
+    large_batch: int,
+    kv_lengths,
+    runner: ExperimentRunner,
+) -> Fig13Result:
+    sweep = runner.sweep(systems, kv_lengths=kv_lengths, batches=(1, large_batch))
+    result = Fig13Result(platform=platform, baseline=baseline, vrex=vrex, sweep=sweep)
+    result.frame_speedup_b1 = sweep.speedup_over(baseline, vrex, "frame", 1)
+    result.frame_speedup_large_batch = sweep.speedup_over(baseline, vrex, "frame", large_batch)
+    result.tpot_speedup_b1 = sweep.speedup_over(baseline, vrex, "generation", 1)
+    base_eff = sweep.efficiency_series(baseline, "frame", 1)
+    vrex_eff = sweep.efficiency_series(vrex, "frame", 1)
+    result.energy_gain_frame_b1 = {
+        k: vrex_eff[k] / base_eff[k] for k in base_eff if base_eff[k] > 0
+    }
+    base_eff_g = sweep.efficiency_series(baseline, "generation", 1)
+    vrex_eff_g = sweep.efficiency_series(vrex, "generation", 1)
+    result.energy_gain_tpot_b1 = {
+        k: vrex_eff_g[k] / base_eff_g[k] for k in base_eff_g if base_eff_g[k] > 0
+    }
+    result.vrex_frame_latency_ms = sweep.latency_series(vrex, "frame", 1)
+    result.vrex_fps = {k: 1000.0 / v for k, v in result.vrex_frame_latency_ms.items() if v > 0}
+    return result
+
+
+def run(kv_lengths=DEFAULT_KV_LENGTHS) -> dict[str, Fig13Result]:
+    """Run both platform comparisons."""
+    model_bytes = default_llm_workload().model_bytes()
+    runner = ExperimentRunner(LatencyModel())
+    return {
+        "edge": _platform_result(
+            "edge", edge_systems(model_bytes), "AGX + FlexGen", "V-Rex8", 4, kv_lengths, runner
+        ),
+        "server": _platform_result(
+            "server", server_systems(model_bytes), "A100 + FlexGen", "V-Rex48", 8, kv_lengths, runner
+        ),
+    }
+
+
+def main() -> dict[str, Fig13Result]:
+    """Print per-system latency series and the paper's headline ranges."""
+    results = run()
+    for platform, result in results.items():
+        systems = sorted({r.system for r in result.sweep.records})
+        kv_lengths = sorted({r.kv_len for r in result.sweep.records})
+        rows = []
+        for system in systems:
+            frame = result.sweep.latency_series(system, "frame", 1)
+            tpot = result.sweep.latency_series(system, "generation", 1)
+            rows.append(
+                [system]
+                + [round(frame.get(k, float("nan")), 1) for k in kv_lengths]
+                + [round(tpot.get(k, float("nan")), 1) for k in kv_lengths]
+            )
+        headers = (
+            ["system"]
+            + [f"frame@{k//1000}K (ms)" for k in kv_lengths]
+            + [f"tpot@{k//1000}K (ms)" for k in kv_lengths]
+        )
+        print(format_table(headers, rows, title=f"Fig. 13 ({platform}) — latency, batch 1"))
+        lo, hi = speedup_range(result.frame_speedup_b1)
+        print(f"  frame speedup vs {result.baseline} (batch 1): {lo:.1f}-{hi:.1f}x")
+        lo, hi = speedup_range(result.frame_speedup_large_batch)
+        print(f"  frame speedup vs {result.baseline} (large batch): {lo:.1f}-{hi:.1f}x")
+        lo, hi = speedup_range(result.tpot_speedup_b1)
+        print(f"  TPOT speedup vs {result.baseline} (batch 1): {lo:.1f}-{hi:.1f}x")
+        lo, hi = speedup_range(result.energy_gain_frame_b1)
+        print(f"  energy-efficiency gain, frame stage: {lo:.1f}-{hi:.1f}x")
+        lo, hi = speedup_range(result.energy_gain_tpot_b1)
+        print(f"  energy-efficiency gain, generation stage: {lo:.1f}-{hi:.1f}x")
+        print(format_series(result.vrex_fps, f"  {result.vrex} FPS (batch 1)"))
+        print()
+    return results
+
+
+if __name__ == "__main__":
+    main()

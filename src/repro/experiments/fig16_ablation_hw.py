@@ -1,0 +1,111 @@
+"""Fig. 16 — hardware ablation study and latency breakdown.
+
+Starting from AGX + FlexGen at a 40K cache (batch 1), optimisations are
+enabled cumulatively: ReSV on the GPU (AGX + ReSV), ReSV with the KVPU
+(DRE prediction offload), and the full V-Rex8 with the KVMU's cluster-wise
+memory mapping.  The paper reports 2.8x / 6.0x / 8.1x cumulative speedups
+and 4.4x / 9.2x / 10.2x energy reductions, with the GPU's KV prediction
+share dropping from ~48% to ~0.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.sim.pipeline import LatencyModel, StepResult
+from repro.sim.systems import ablation_systems
+from repro.sim.workload import default_llm_workload
+
+
+@dataclass
+class AblationPoint:
+    """One bar of Fig. 16."""
+
+    name: str
+    latency_ms: float
+    energy_j: float
+    speedup_vs_baseline: float
+    energy_reduction_vs_baseline: float
+    prediction_fraction: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig16Result:
+    """Cumulative ablation points, in paper order."""
+
+    kv_len: int
+    batch: int
+    points: list[AblationPoint] = field(default_factory=list)
+
+    def point(self, name: str) -> AblationPoint:
+        for p in self.points:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+def run(kv_len: int = 40_000, batch: int = 1) -> Fig16Result:
+    """Evaluate the four ablation configurations."""
+    model = LatencyModel()
+    systems = ablation_systems(default_llm_workload().model_bytes())
+    result = Fig16Result(kv_len=kv_len, batch=batch)
+
+    def evaluate(name: str) -> tuple[StepResult, float]:
+        step = model.frame_step(systems[name], kv_len, batch)
+        return step, model.step_energy_j(systems[name], step)
+
+    baseline_step, baseline_energy = evaluate("AGX + FlexGen")
+    order = ["AGX + FlexGen", "AGX + ReSV", "V-Rex8 KVPU", "V-Rex8 All"]
+    for name in order:
+        step, energy = evaluate(name)
+        exposed = step.breakdown["kv_prediction"]
+        compute = step.breakdown["llm_compute"]
+        fetch = step.breakdown["kv_fetch"]
+        vision = step.breakdown["vision"]
+        denominator = exposed + compute + fetch + vision
+        result.points.append(
+            AblationPoint(
+                name=name,
+                latency_ms=step.total_ms,
+                energy_j=energy,
+                speedup_vs_baseline=baseline_step.total_s / step.total_s if step.total_s else 0.0,
+                energy_reduction_vs_baseline=baseline_energy / energy if energy else 0.0,
+                prediction_fraction=exposed / denominator if denominator else 0.0,
+                breakdown={
+                    "vision": vision,
+                    "llm_compute": compute,
+                    "kv_prediction": exposed,
+                    "kv_fetch": fetch,
+                },
+            )
+        )
+    return result
+
+
+def main() -> Fig16Result:
+    """Print the ablation table."""
+    result = run()
+    rows = [
+        [
+            p.name,
+            round(p.latency_ms, 1),
+            round(p.speedup_vs_baseline, 1),
+            round(p.energy_reduction_vs_baseline, 1),
+            f"{100 * p.prediction_fraction:.1f}%",
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["configuration", "latency (ms)", "speedup", "energy reduction", "KV prediction share"],
+            rows,
+            title=f"Fig. 16 — ablation at {result.kv_len // 1000}K cache, batch {result.batch}",
+        )
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Fig. 18 — roofline analysis of the frame processing stage on the edge.
+
+Places AGX + FlexGen, AGX + ReKV and V-Rex8 on their rooflines for a 40K
+cache, batch 4 workload.  The paper reports achieved fractions of roughly
+6.6%, ~15% and 71.5% of the respective theoretical maxima (a 10.8x
+utilisation improvement for V-Rex over the FlexGen baseline), driven by the
+PCIe bottleneck the baselines suffer from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.hw.roofline import RooflinePoint, attainable_tflops
+from repro.sim.pipeline import LatencyModel
+from repro.sim.systems import edge_systems
+from repro.sim.workload import default_llm_workload
+
+
+@dataclass
+class Fig18Result:
+    """Roofline points for the three edge systems."""
+
+    kv_len: int
+    batch: int
+    points: list[RooflinePoint] = field(default_factory=list)
+
+    def point(self, name: str) -> RooflinePoint:
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise KeyError(name)
+
+    def utilisation_gain(self, system: str, baseline: str) -> float:
+        """Achieved-fraction improvement of ``system`` over ``baseline``."""
+        base = self.point(baseline).achieved_fraction
+        if base <= 0:
+            return 0.0
+        return self.point(system).achieved_fraction / base
+
+
+def run(kv_len: int = 40_000, batch: int = 4) -> Fig18Result:
+    """Compute achieved throughput and operational intensity per system."""
+    model = LatencyModel()
+    systems = edge_systems(default_llm_workload().model_bytes())
+    result = Fig18Result(kv_len=kv_len, batch=batch)
+    for name in ("AGX + FlexGen", "AGX + ReKV", "V-Rex8"):
+        system = systems[name]
+        step = model.frame_step(system, kv_len, batch)
+        total_bytes = step.dram_bytes + step.pcie_bytes
+        intensity = step.dense_flops / total_bytes if total_bytes else 0.0
+        achieved = step.dense_flops / step.total_s / 1e12 if step.total_s else 0.0
+        ceiling = attainable_tflops(
+            intensity, system.device.peak_tflops, system.device.memory_bandwidth_gbps
+        )
+        result.points.append(
+            RooflinePoint(
+                name=name,
+                operational_intensity=intensity,
+                achieved_tflops=achieved,
+                peak_tflops=ceiling,
+            )
+        )
+    return result
+
+
+def main() -> Fig18Result:
+    """Print the roofline table."""
+    result = run()
+    rows = [
+        [
+            p.name,
+            round(p.operational_intensity, 1),
+            round(p.achieved_tflops, 2),
+            round(p.peak_tflops, 1),
+            f"{100 * p.achieved_fraction:.1f}%",
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["system", "OI (Op/B)", "achieved TFLOPS", "attainable TFLOPS", "fraction of max"],
+            rows,
+            title=f"Fig. 18 — roofline at {result.kv_len // 1000}K cache, batch {result.batch}",
+        )
+    )
+    gain = result.utilisation_gain("V-Rex8", "AGX + FlexGen")
+    print(f"  V-Rex8 utilisation improvement over AGX + FlexGen: {gain:.1f}x (paper: 10.8x)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Table III — area and power breakdown of a single V-Rex core.
+
+Reports the synthesised component breakdown (DPE, VPE, on-chip memory,
+WTU, HCU, KVMU), the DRE's share of core area/power (paper: ~2.0% area,
+~2.2-2.4% power), the scaled chip areas of V-Rex8 / V-Rex48 against the
+AGX Orin and A100 dies, and the estimated system power (paper: ~35 W and
+~203.68 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.hw.energy import (
+    A100_AREA_MM2,
+    AGX_ORIN_AREA_MM2,
+    TABLE_III,
+    EnergyModel,
+    core_area_power,
+    vrex_chip_area_mm2,
+)
+from repro.hw.specs import A100, AGX_ORIN
+
+
+@dataclass
+class Table03Result:
+    """Aggregated area/power figures."""
+
+    components: list = field(default_factory=list)
+    core_area_mm2: float = 0.0
+    core_power_mw: float = 0.0
+    dre_area_fraction: float = 0.0
+    dre_power_fraction: float = 0.0
+    vrex8_area_mm2: float = 0.0
+    vrex48_area_mm2: float = 0.0
+    vrex8_system_power_w: float = 0.0
+    vrex48_system_power_w: float = 0.0
+    agx_power_w: float = AGX_ORIN.power_w
+    a100_power_w: float = A100.power_w
+
+
+def run() -> Table03Result:
+    """Aggregate the Table III constants and derived system-level numbers."""
+    aggregate = core_area_power()
+    energy = EnergyModel()
+    return Table03Result(
+        components=list(TABLE_III),
+        core_area_mm2=aggregate.total_area_mm2,
+        core_power_mw=aggregate.total_power_mw,
+        dre_area_fraction=aggregate.dre_area_fraction,
+        dre_power_fraction=aggregate.dre_power_fraction,
+        vrex8_area_mm2=vrex_chip_area_mm2(8),
+        vrex48_area_mm2=vrex_chip_area_mm2(48),
+        vrex8_system_power_w=energy.vrex_system_power(8).total_w,
+        vrex48_system_power_w=energy.vrex_system_power(48).total_w,
+    )
+
+
+def main() -> Table03Result:
+    """Print the component table and the derived comparisons."""
+    result = run()
+    rows = [
+        [c.name, c.group, c.area_mm2, f"{100 * c.area_mm2 / result.core_area_mm2:.2f}%",
+         c.power_mw, f"{100 * c.power_mw / result.core_power_mw:.2f}%"]
+        for c in result.components
+    ]
+    rows.append(["Total", "", result.core_area_mm2, "100%", result.core_power_mw, "100%"])
+    print(
+        format_table(
+            ["component", "group", "area (mm2)", "area %", "power (mW)", "power %"],
+            rows,
+            title="Table III — single V-Rex core breakdown (14 nm, 0.8 V, 800 MHz)",
+        )
+    )
+    print(f"  DRE share: {100 * result.dre_area_fraction:.1f}% area, "
+          f"{100 * result.dre_power_fraction:.1f}% power (paper: ~2.0% / ~2.4%)")
+    print(f"  V-Rex8 area {result.vrex8_area_mm2:.1f} mm2 vs AGX Orin {AGX_ORIN_AREA_MM2:.0f} mm2")
+    print(f"  V-Rex48 area {result.vrex48_area_mm2:.1f} mm2 vs A100 {A100_AREA_MM2:.0f} mm2")
+    print(f"  V-Rex8 system power {result.vrex8_system_power_w:.1f} W vs AGX Orin {result.agx_power_w:.0f} W")
+    print(f"  V-Rex48 system power {result.vrex48_system_power_w:.1f} W vs A100 {result.a100_power_w:.0f} W")
+    return result
+
+
+if __name__ == "__main__":
+    main()

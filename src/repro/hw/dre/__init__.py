@@ -1,0 +1,14 @@
+"""Dynamic KV cache retrieval engine (DRE): HCU, WTU and KVMU models."""
+
+from repro.hw.dre.hcu import HCUModel, HCUWork
+from repro.hw.dre.kvmu import KVFetchWork, KVMUModel
+from repro.hw.dre.wtu import WTUModel, WTUWork
+
+__all__ = [
+    "HCUModel",
+    "HCUWork",
+    "KVFetchWork",
+    "KVMUModel",
+    "WTUModel",
+    "WTUWork",
+]

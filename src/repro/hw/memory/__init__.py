@@ -1,0 +1,22 @@
+"""Memory-system models: device DRAM, NVMe SSD, PCIe link, KV hierarchy."""
+
+from repro.hw.memory.dram import DDR4_CPU, HBM2E, LPDDR5, DRAMConfig, DRAMModel
+from repro.hw.memory.hierarchy import FetchResult, HierarchicalKVManager
+from repro.hw.memory.pcie import PCIE3_X4, PCIE4_X16, PCIeConfig, PCIeLink
+from repro.hw.memory.ssd import SSDConfig, SSDModel
+
+__all__ = [
+    "DDR4_CPU",
+    "DRAMConfig",
+    "DRAMModel",
+    "FetchResult",
+    "HBM2E",
+    "HierarchicalKVManager",
+    "LPDDR5",
+    "PCIE3_X4",
+    "PCIE4_X16",
+    "PCIeConfig",
+    "PCIeLink",
+    "SSDConfig",
+    "SSDModel",
+]

@@ -1,0 +1,152 @@
+"""Hierarchical KV cache memory management (KVMU, paper Sec. V-C).
+
+The KVMU keeps recent KV cache entries in the accelerator's DRAM, spills
+the oldest entries to CPU memory or SSD once a capacity budget is exceeded,
+and lays offloaded tokens out *cluster-wise* so that retrieving a cluster
+is one contiguous transfer.  This module models that policy functionally:
+it tracks which tokens are resident, answers fetch requests with the split
+between on-device hits and off-chip bytes, and reports the contiguity of
+the off-chip accesses (which the PCIe/SSD models convert into effective
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one retrieval request."""
+
+    requested_tokens: int
+    resident_tokens: int
+    offchip_tokens: int
+    offchip_bytes: float
+    mean_contiguous_bytes: float
+    num_transfers: int
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.requested_tokens == 0:
+            return 1.0
+        return self.resident_tokens / self.requested_tokens
+
+
+@dataclass
+class HierarchicalKVManager:
+    """Tracks residency and layout of a growing KV cache.
+
+    Parameters
+    ----------
+    bytes_per_token:
+        Per-token KV footprint at the granularity being managed (e.g. all
+        layers of one batch element).
+    device_budget_bytes:
+        DRAM capacity reserved for the KV cache; beyond it the oldest
+        entries are offloaded.
+    cluster_mapping:
+        Whether offloaded tokens are grouped cluster-wise (KVMU behaviour)
+        or stored in arrival order (plain offloading).
+    """
+
+    bytes_per_token: float
+    device_budget_bytes: float
+    cluster_mapping: bool = True
+    _num_tokens: int = 0
+    _cluster_of_token: dict[int, int] = field(default_factory=dict)
+    _offloaded_before: int = 0
+
+    @property
+    def num_tokens(self) -> int:
+        return self._num_tokens
+
+    @property
+    def resident_tokens(self) -> int:
+        return self._num_tokens - self._offloaded_before
+
+    @property
+    def offloaded_tokens(self) -> int:
+        return self._offloaded_before
+
+    def append(self, num_new_tokens: int, cluster_ids: np.ndarray | None = None) -> int:
+        """Add new tokens (optionally with cluster assignments); returns evictions.
+
+        Eviction is oldest-first: tokens with the smallest indices are
+        offloaded until the resident set fits the budget again.
+        """
+        if num_new_tokens < 0:
+            raise ValueError("num_new_tokens must be non-negative")
+        start = self._num_tokens
+        if cluster_ids is not None:
+            cluster_ids = np.asarray(cluster_ids)
+            if cluster_ids.shape[0] != num_new_tokens:
+                raise ValueError("cluster_ids length must match num_new_tokens")
+            for offset, cluster in enumerate(cluster_ids):
+                self._cluster_of_token[start + offset] = int(cluster)
+        self._num_tokens += num_new_tokens
+
+        evicted = 0
+        budget_tokens = int(self.device_budget_bytes // max(self.bytes_per_token, 1.0))
+        while self.resident_tokens > budget_tokens and self._offloaded_before < self._num_tokens:
+            self._offloaded_before += 1
+            evicted += 1
+        return evicted
+
+    def is_resident(self, token_index: int) -> bool:
+        """Whether a token is currently held in device memory."""
+        if token_index < 0 or token_index >= self._num_tokens:
+            raise IndexError("token index out of range")
+        return token_index >= self._offloaded_before
+
+    def fetch(self, token_indices: np.ndarray) -> FetchResult:
+        """Resolve a retrieval request into resident hits and off-chip transfers."""
+        token_indices = np.unique(np.asarray(token_indices, dtype=np.int64))
+        if token_indices.size and (
+            token_indices.min() < 0 or token_indices.max() >= self._num_tokens
+        ):
+            raise IndexError("fetch indices out of range")
+        resident_mask = token_indices >= self._offloaded_before
+        offchip = token_indices[~resident_mask]
+        transfers = self._group_transfers(offchip)
+        offchip_bytes = offchip.size * self.bytes_per_token
+        mean_chunk = (
+            offchip_bytes / len(transfers) if transfers else self.bytes_per_token
+        )
+        return FetchResult(
+            requested_tokens=int(token_indices.size),
+            resident_tokens=int(resident_mask.sum()),
+            offchip_tokens=int(offchip.size),
+            offchip_bytes=float(offchip_bytes),
+            mean_contiguous_bytes=float(mean_chunk),
+            num_transfers=max(len(transfers), 0),
+        )
+
+    def _group_transfers(self, offchip: np.ndarray) -> list[np.ndarray]:
+        """Group off-chip tokens into contiguous transfers.
+
+        With cluster-wise mapping, tokens sharing a cluster are stored at
+        contiguous addresses, so one transfer per (cluster) group suffices;
+        without it, only tokens adjacent in arrival order coalesce.
+        """
+        if offchip.size == 0:
+            return []
+        if self.cluster_mapping and self._cluster_of_token:
+            groups: dict[int, list[int]] = {}
+            for token in offchip:
+                cluster = self._cluster_of_token.get(int(token), -1)
+                groups.setdefault(cluster, []).append(int(token))
+            return [np.asarray(tokens) for tokens in groups.values()]
+        # Arrival-order layout: coalesce only consecutive indices.
+        splits = np.nonzero(np.diff(offchip) > 1)[0] + 1
+        return list(np.split(offchip, splits))
+
+    def device_bytes(self) -> float:
+        """Bytes of KV cache currently resident in device memory."""
+        return self.resident_tokens * self.bytes_per_token
+
+    def offloaded_bytes(self) -> float:
+        """Bytes of KV cache spilled to CPU memory or SSD."""
+        return self.offloaded_tokens * self.bytes_per_token

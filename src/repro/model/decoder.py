@@ -1,0 +1,112 @@
+"""Decoder layer building blocks: RMSNorm, SwiGLU feed-forward, DecoderLayer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.attention import AttentionStats, MultiHeadAttention
+from repro.model.kvcache import LayerKVCache
+from repro.model.rope import RotaryEmbedding
+
+
+class RMSNorm:
+    """Root-mean-square layer normalisation (as used by Llama-style models)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        self.dim = dim
+        self.eps = eps
+        self.weight = np.ones((dim,), dtype=np.float64)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + self.eps)
+        return x / rms * self.weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation."""
+    return x / (1.0 + np.exp(-x))
+
+
+class FeedForward:
+    """SwiGLU feed-forward network: ``w2(silu(w1 x) * w3 x)``."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        ffn_dim: int,
+        rng: np.random.Generator,
+        init_scale: float | None = None,
+    ):
+        self.hidden_dim = hidden_dim
+        self.ffn_dim = ffn_dim
+        scale = init_scale if init_scale is not None else 1.0 / np.sqrt(hidden_dim)
+        ffn_scale = 1.0 / np.sqrt(ffn_dim)
+        self.w1 = rng.normal(0.0, scale, size=(hidden_dim, ffn_dim))
+        self.w3 = rng.normal(0.0, scale, size=(hidden_dim, ffn_dim))
+        self.w2 = rng.normal(0.0, ffn_scale, size=(ffn_dim, hidden_dim))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (silu(x @ self.w1) * (x @ self.w3)) @ self.w2
+
+
+class DecoderLayer:
+    """One pre-norm transformer decoder layer with a residual stream.
+
+    The residual connection is what lets content injected into the token
+    embeddings (the synthetic QA probes) survive all the way to the last
+    layer even with random weights, mirroring how real models carry
+    information through the residual stream.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        num_kv_heads: int,
+        ffn_dim: int,
+        rope: RotaryEmbedding | None,
+        rng: np.random.Generator,
+        identity_bias: float = 0.0,
+        attn_mix: float = 0.5,
+        ffn_mix: float = 0.5,
+        query_transform: np.ndarray | None = None,
+    ):
+        self.hidden_dim = hidden_dim
+        self.attn_mix = attn_mix
+        self.ffn_mix = ffn_mix
+        self.attn_norm = RMSNorm(hidden_dim)
+        self.ffn_norm = RMSNorm(hidden_dim)
+        self.attention = MultiHeadAttention(
+            hidden_dim,
+            num_heads,
+            num_kv_heads,
+            rope,
+            rng,
+            identity_bias=identity_bias,
+            query_transform=query_transform,
+        )
+        self.ffn = FeedForward(hidden_dim, ffn_dim, rng)
+
+    def forward(
+        self,
+        hidden: np.ndarray,
+        cache: LayerKVCache,
+        positions: np.ndarray,
+        layer_index: int,
+        retriever=None,
+        frame_id: int = -1,
+    ) -> tuple[np.ndarray, AttentionStats]:
+        """Run the layer for one chunk of tokens, updating the KV cache."""
+        attn_out, stats = self.attention.forward(
+            self.attn_norm(hidden),
+            cache,
+            positions,
+            layer_index,
+            retriever=retriever,
+            frame_id=frame_id,
+        )
+        hidden = hidden + self.attn_mix * attn_out
+        hidden = hidden + self.ffn_mix * self.ffn(self.ffn_norm(hidden))
+        return hidden, stats

@@ -1,0 +1,73 @@
+"""Vision tower and MLP projector.
+
+The paper uses SigLIP-ViT-L-384 as the vision encoder and a small MLP to
+project visual embeddings into the LLM input space (Fig. 3).  The substrate
+replaces the pretrained ViT with a deterministic patch-pooling encoder: the
+frame is split into patches, patches are average-pooled into
+``output_tokens`` regions and projected with a fixed random matrix.  This
+preserves the property the retrieval algorithms care about — temporally
+adjacent frames produce highly similar visual tokens — without shipping a
+pretrained network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import VisionConfig
+
+
+class VisionTower:
+    """Deterministic patch-pooling frame encoder standing in for SigLIP."""
+
+    def __init__(self, config: VisionConfig, seed: int = 0):
+        self.config = config
+        rng = np.random.default_rng(seed)
+        patch_dim = config.patch_size * config.patch_size * 3
+        self.patch_projection = rng.normal(
+            0.0, 1.0 / np.sqrt(patch_dim), size=(patch_dim, config.embed_dim)
+        )
+
+    def patchify(self, frame: np.ndarray) -> np.ndarray:
+        """Split an ``(H, W, 3)`` frame into flattened patches."""
+        frame = np.asarray(frame, dtype=np.float64)
+        size = self.config.image_size
+        patch = self.config.patch_size
+        if frame.shape != (size, size, 3):
+            raise ValueError(
+                f"expected frame of shape ({size}, {size}, 3), got {frame.shape}"
+            )
+        n = size // patch
+        patches = frame.reshape(n, patch, n, patch, 3)
+        patches = patches.transpose(0, 2, 1, 3, 4).reshape(n * n, patch * patch * 3)
+        return patches
+
+    def encode(self, frame: np.ndarray) -> np.ndarray:
+        """Encode one frame into ``(output_tokens, embed_dim)`` visual embeddings."""
+        patches = self.patchify(frame)
+        embeddings = patches @ self.patch_projection
+        groups = np.array_split(np.arange(embeddings.shape[0]), self.config.output_tokens)
+        pooled = np.stack([embeddings[g].mean(axis=0) for g in groups], axis=0)
+        return pooled
+
+
+class MLPProjector:
+    """Two-layer MLP adapting vision embeddings to the LLM hidden size."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, seed: int = 0):
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        rng = np.random.default_rng(seed)
+        mid = max(embed_dim, hidden_dim)
+        self.w1 = rng.normal(0.0, 1.0 / np.sqrt(embed_dim), size=(embed_dim, mid))
+        self.w2 = rng.normal(0.0, 1.0 / np.sqrt(mid), size=(mid, hidden_dim))
+
+    def project(self, embeddings: np.ndarray) -> np.ndarray:
+        """Project ``(tokens, embed_dim)`` vision embeddings to the LLM space."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"expected embeddings with last dim {self.embed_dim}, got {embeddings.shape}"
+            )
+        hidden = np.maximum(embeddings @ self.w1, 0.0)
+        return hidden @ self.w2

@@ -1,0 +1,469 @@
+"""System-level latency pipelines for the streaming video LLM.
+
+This is the reproduction's stand-in for the paper's custom cycle-level
+simulator: for a given :class:`repro.sim.systems.SystemConfig`, KV cache
+length and batch size it assembles the per-layer timeline of
+
+* dense LLM compute (QKV generation, attention over the retrieved tokens,
+  FFN) on the GPU or the LXE,
+* KV prediction (the retrieval algorithm's selection work) on the GPU or
+  the DRE,
+* KV fetch of the selected-but-offloaded entries over PCIe (and through the
+  SSD on the edge platform),
+
+into per-frame latency, time-per-output-token, end-to-end scenario latency
+and the associated energy — the quantities behind Fig. 4, 13, 14, 15, 16,
+17 and 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import StreamingConfig
+from repro.hw.accelerator import VRexAccelerator
+from repro.hw.compute import KernelCost
+from repro.hw.dre.hcu import HCUWork
+from repro.hw.dre.kvmu import KVFetchWork
+from repro.hw.dre.wtu import WTUWork
+from repro.hw.energy import EnergyModel
+from repro.hw.event import Timeline
+from repro.hw.gpu import GPUDevice
+from repro.sim.systems import (
+    AVG_TOKENS_PER_CLUSTER,
+    EARLY_EXIT_SORT_FRACTION,
+    GPU_FRAME_SELECTION_OVERHEAD_S,
+    GPU_SORT_RATE,
+    GPU_TOKEN_SELECTION_OVERHEAD_S,
+    SystemConfig,
+)
+from repro.sim.workload import TransformerWorkload, VisionWorkload, default_llm_workload, default_vision_workload
+
+FRAME_STAGE = "frame"
+GENERATION_STAGE = "generation"
+
+#: Rate (bit-operations per second) at which a GPU executes the
+#: data-dependent Hamming-distance clustering loop of ReSV; the sequential,
+#: conditional structure keeps it far below the GPU's arithmetic peak
+#: (this is the inefficiency the HCU removes).
+GPU_CLUSTERING_RATE = {"gpu_edge": 3.0e8, "gpu_server": 1.5e9}
+
+
+@dataclass
+class StepResult:
+    """Latency and accounting of one pipeline step (one frame or one token)."""
+
+    system: str
+    stage: str
+    kv_len: int
+    batch: int
+    total_s: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    dense_flops: float = 0.0
+    dram_bytes: float = 0.0
+    pcie_bytes: float = 0.0
+    pcie_busy_s: float = 0.0
+    oom: bool = False
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def fps(self) -> float:
+        """Frames per second across the whole batch."""
+        if self.total_s <= 0 or self.oom:
+            return 0.0
+        return self.batch / self.total_s
+
+
+@dataclass
+class ScenarioResult:
+    """End-to-end latency of the COIN working scenario at a given cache size."""
+
+    system: str
+    kv_len: int
+    batch: int
+    total_s: float
+    vision_s: float
+    prefill_s: float
+    generation_s: float
+    oom: bool = False
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Share of each stage in the end-to-end latency."""
+        if self.total_s <= 0:
+            return {"vision": 0.0, "prefill": 0.0, "generation": 0.0}
+        return {
+            "vision": self.vision_s / self.total_s,
+            "prefill": self.prefill_s / self.total_s,
+            "generation": self.generation_s / self.total_s,
+        }
+
+
+class LatencyModel:
+    """Assembles per-step latencies for any configured system."""
+
+    def __init__(
+        self,
+        llm: TransformerWorkload | None = None,
+        vision: VisionWorkload | None = None,
+        streaming: StreamingConfig | None = None,
+    ):
+        self.llm = llm or default_llm_workload()
+        self.vision = vision or default_vision_workload()
+        self.streaming = streaming or StreamingConfig()
+        self.energy = EnergyModel()
+        self._devices: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # device construction
+    # ------------------------------------------------------------------ #
+    def device_for(self, system: SystemConfig):
+        """Instantiate (and cache) the device model backing a system."""
+        key = f"{system.name}|{system.policy.cluster_mapping}"
+        if key not in self._devices:
+            if system.device.kind == "vrex":
+                self._devices[key] = VRexAccelerator(
+                    system.device, cluster_mapping=system.policy.cluster_mapping
+                )
+            else:
+                self._devices[key] = GPUDevice(system.device)
+        return self._devices[key]
+
+    # ------------------------------------------------------------------ #
+    # memory accounting
+    # ------------------------------------------------------------------ #
+    def resident_bytes(self, system: SystemConfig, kv_len: int, batch: int) -> float:
+        """Device-memory working set (weights + resident KV + reserve)."""
+        cache_bytes = self.llm.kv_cache_bytes(kv_len, batch) * system.kv_bytes_scale
+        if system.kv_offloaded:
+            resident_cache = min(cache_bytes, system.kv_device_budget_bytes * batch)
+        else:
+            resident_cache = cache_bytes
+        return self.llm.model_bytes() + resident_cache + system.activation_reserve_bytes
+
+    def is_oom(self, system: SystemConfig, kv_len: int, batch: int) -> bool:
+        """Whether the working set exceeds device memory (Fig. 15)."""
+        return self.resident_bytes(system, kv_len, batch) > system.device.memory_capacity_bytes
+
+    def offloaded_fraction(self, system: SystemConfig, kv_len: int, batch: int) -> float:
+        """Fraction of the (per-stream) KV cache that lives off-device."""
+        if not system.kv_offloaded:
+            return 0.0
+        per_stream_bytes = self.llm.kv_cache_bytes(kv_len, 1) * system.kv_bytes_scale
+        if per_stream_bytes <= 0:
+            return 0.0
+        budget = system.kv_device_budget_bytes
+        del batch  # the budget is already expressed per stream
+        return max(0.0, 1.0 - budget / per_stream_bytes)
+
+    # ------------------------------------------------------------------ #
+    # pipeline components
+    # ------------------------------------------------------------------ #
+    def _selected_tokens(self, system: SystemConfig, kv_len: int, stage: str) -> int:
+        return int(round(kv_len * system.policy.ratio(stage)))
+
+    def _fetch(self, system: SystemConfig, kv_len: int, stage: str, batch: int):
+        """Per-layer fetch bytes and time for the selected-but-offloaded tokens."""
+        selected = self._selected_tokens(system, kv_len, stage)
+        off_fraction = self.offloaded_fraction(system, kv_len, batch)
+        offchip_tokens = selected * off_fraction
+        per_layer_bytes = (
+            offchip_tokens
+            * self.llm.kv_bytes_per_token_per_layer()
+            * system.kv_bytes_scale
+            * batch
+        )
+        if per_layer_bytes <= 0:
+            return 0.0, 0.0
+        device = self.device_for(system)
+        from_ssd = system.device.offload_target == "ssd"
+        if isinstance(device, VRexAccelerator):
+            contiguous = (
+                system.policy.avg_tokens_per_cluster * self.llm.kv_bytes_per_token_per_layer()
+                if system.policy.cluster_mapping
+                else self.llm.kv_bytes_per_token_per_layer()
+            )
+            work = KVFetchWork(
+                total_bytes=per_layer_bytes,
+                mean_contiguous_bytes=contiguous,
+                from_ssd=from_ssd,
+            )
+            return per_layer_bytes, device.fetch_time_s(work)
+        # GPU path: a full-cache fetch streams sequentially; token-granular
+        # selections scatter across the offloaded layout.
+        sequential = 0.95 if system.policy.ratio(stage) >= 0.999 else 0.5
+        return per_layer_bytes, device.fetch_time_s(
+            per_layer_bytes, from_ssd=from_ssd, sequential_fraction=sequential
+        )
+
+    def _prediction(
+        self, system: SystemConfig, q_len: int, kv_len: int, stage: str, batch: int
+    ) -> tuple[float, bool]:
+        """Per-layer KV-prediction time and whether it runs on the DRE."""
+        policy = system.policy
+        if policy.prediction == "none" or kv_len == 0:
+            return 0.0, False
+        if stage == FRAME_STAGE and not policy.prediction_in_prefill:
+            return 0.0, False
+        device = self.device_for(system)
+        device_class = system.device_class
+
+        if policy.prediction == "resv":
+            num_clusters = max(kv_len // policy.avg_tokens_per_cluster, 1)
+            hashbit_flops = self.llm.resv_hashbit_flops(q_len, 32) * batch
+            score_flops = self.llm.resv_score_flops(q_len, num_clusters) * batch
+            clustering_bit_ops = (
+                q_len * num_clusters * 32 * self.llm.model.num_kv_heads * batch
+            )
+            wicsum_rows = q_len * self.llm.model.num_heads * batch
+            if policy.prediction_on_dre and isinstance(device, VRexAccelerator):
+                lxe_extra = device.dense_time_s(KernelCost(hashbit_flops + score_flops))
+                dre_time = device.prediction_time_s(
+                    HCUWork(
+                        new_tokens=q_len * batch,
+                        num_clusters=num_clusters,
+                        n_bits=32,
+                        kv_heads=self.llm.model.num_kv_heads,
+                    ),
+                    WTUWork(
+                        rows=wicsum_rows,
+                        clusters=num_clusters,
+                        sort_fraction=EARLY_EXIT_SORT_FRACTION,
+                    ),
+                )
+                return lxe_extra + dre_time, True
+            # ReSV executed entirely on a GPU (the Fig. 16 AGX+ReSV point):
+            # the matrix pieces run as dense kernels, but the conditional
+            # clustering loop and the per-row threshold sort crawl.  With
+            # clustering disabled (Fig. 19 ablation) there is no Hamming
+            # clustering loop at all.
+            dense = device.dense_time_s(KernelCost(hashbit_flops + score_flops))
+            clustering = (
+                clustering_bit_ops / GPU_CLUSTERING_RATE[device_class]
+                if policy.avg_tokens_per_cluster > 1
+                else 0.0
+            )
+            sort_elems = wicsum_rows * num_clusters
+            sorting = sort_elems / GPU_SORT_RATE[device_class]
+            overhead = GPU_TOKEN_SELECTION_OVERHEAD_S[device_class]
+            return dense + clustering + sorting + overhead, False
+
+        frame_level = policy.prediction == "topk_frame"
+        score_flops = self.llm.topk_prediction_flops(
+            q_len, kv_len, frame_level=frame_level
+        ) * batch
+        sort_elements = self.llm.topk_sort_elements(q_len, kv_len, frame_level=frame_level) * batch
+        overhead = (
+            GPU_FRAME_SELECTION_OVERHEAD_S[device_class]
+            if frame_level
+            else GPU_TOKEN_SELECTION_OVERHEAD_S[device_class]
+        )
+        scoring = device.irregular_time_s(KernelCost(score_flops))
+        sorting = sort_elements / GPU_SORT_RATE[device_class]
+        return scoring + sorting + overhead, False
+
+    def _vision_time(self, system: SystemConfig, batch: int) -> tuple[float, KernelCost]:
+        cost = self.vision.frame_cost(batch)
+        device = self.device_for(system)
+        return device.dense_time_s(cost), cost
+
+    # ------------------------------------------------------------------ #
+    # pipeline steps
+    # ------------------------------------------------------------------ #
+    def _step(
+        self,
+        system: SystemConfig,
+        kv_len: int,
+        batch: int,
+        q_len: int,
+        stage: str,
+        include_vision: bool,
+    ) -> StepResult:
+        policy = system.policy
+        oom = self.is_oom(system, kv_len, batch)
+        selected = self._selected_tokens(system, kv_len, stage)
+        layer_cost = self.llm.layer_cost(q_len, selected, batch)
+        device = self.device_for(system)
+        compute_layer = device.dense_time_s(layer_cost)
+        prediction_layer, on_dre = self._prediction(system, q_len, kv_len, stage, batch)
+        fetch_bytes_layer, fetch_layer = self._fetch(system, kv_len, stage, batch)
+
+        # FlexGen's serial load-then-compute behaviour (Fig. 5 i) applies to
+        # the iterative prefill; its generation pipeline overlaps I/O with
+        # compute as designed.
+        overlaps = policy.overlap_fetch or stage == GENERATION_STAGE
+        if system.device.kind == "vrex":
+            # Prediction and prefetch for the next layer overlap with this
+            # layer's compute (Fig. 5 iii); only the excess is exposed.
+            hidden = prediction_layer + fetch_layer
+            layer_latency = max(compute_layer, hidden)
+            exposed_prediction = max(0.0, min(prediction_layer, hidden - compute_layer))
+            exposed_fetch = max(0.0, hidden - compute_layer - exposed_prediction)
+        elif overlaps:
+            # GPU prefetch overlaps the transfer but the prediction kernels
+            # compete with the LLM kernels for the same SMs (Fig. 5 ii).
+            layer_latency = prediction_layer + max(compute_layer, fetch_layer)
+            exposed_prediction = prediction_layer
+            exposed_fetch = max(0.0, fetch_layer - compute_layer)
+        else:
+            layer_latency = prediction_layer + compute_layer + fetch_layer
+            exposed_prediction = prediction_layer
+            exposed_fetch = fetch_layer
+
+        num_layers = self.llm.model.num_layers
+        compute_total = compute_layer * num_layers
+        prediction_total = exposed_prediction * num_layers
+        fetch_total = exposed_fetch * num_layers
+        llm_total = layer_latency * num_layers
+
+        vision_time = 0.0
+        vision_cost = KernelCost(0.0, 0.0)
+        if include_vision:
+            vision_time, vision_cost = self._vision_time(system, batch)
+
+        total = llm_total + vision_time
+        breakdown = {
+            "vision": vision_time,
+            "llm_compute": compute_total,
+            "kv_prediction": prediction_total,
+            "kv_fetch": fetch_total,
+            "kv_prediction_raw": prediction_layer * num_layers,
+            "kv_fetch_raw": fetch_layer * num_layers,
+            "prediction_on_dre": float(on_dre),
+        }
+        dense_flops = layer_cost.flops * num_layers + vision_cost.flops
+        dram_bytes = layer_cost.dram_bytes * num_layers + vision_cost.dram_bytes
+        pcie_bytes = fetch_bytes_layer * num_layers
+        pcie_busy = fetch_layer * num_layers
+        return StepResult(
+            system=system.name,
+            stage=stage,
+            kv_len=kv_len,
+            batch=batch,
+            total_s=total,
+            breakdown=breakdown,
+            dense_flops=dense_flops,
+            dram_bytes=dram_bytes,
+            pcie_bytes=pcie_bytes,
+            pcie_busy_s=min(pcie_busy, total),
+            oom=oom,
+        )
+
+    def frame_step(self, system: SystemConfig, kv_len: int, batch: int = 1) -> StepResult:
+        """Latency of processing one incoming video frame (iterative prefill)."""
+        return self._step(
+            system,
+            kv_len,
+            batch,
+            q_len=self.llm.model.tokens_per_frame,
+            stage=FRAME_STAGE,
+            include_vision=True,
+        )
+
+    def question_step(
+        self, system: SystemConfig, kv_len: int, batch: int = 1, question_tokens: int | None = None
+    ) -> StepResult:
+        """Latency of prefilling the user's question tokens."""
+        q_len = question_tokens or self.streaming.question_tokens
+        return self._step(
+            system, kv_len, batch, q_len=q_len, stage=FRAME_STAGE, include_vision=False
+        )
+
+    def generation_step(self, system: SystemConfig, kv_len: int, batch: int = 1) -> StepResult:
+        """Time per output token (TPOT) during answer generation."""
+        return self._step(
+            system, kv_len, batch, q_len=1, stage=GENERATION_STAGE, include_vision=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # composite results
+    # ------------------------------------------------------------------ #
+    def e2e_scenario(
+        self,
+        system: SystemConfig,
+        kv_len: int,
+        batch: int = 1,
+        frames: int | None = None,
+        answer_tokens: int | None = None,
+    ) -> ScenarioResult:
+        """End-to-end COIN working scenario (26 frames, 25+39 text tokens)."""
+        frames = frames or self.streaming.frames_per_query
+        answer_tokens = answer_tokens or self.streaming.answer_tokens
+        frame = self.frame_step(system, kv_len, batch)
+        question = self.question_step(system, kv_len, batch)
+        generation = self.generation_step(system, kv_len, batch)
+        vision_s = frame.breakdown["vision"] * frames
+        prefill_s = (frame.total_s - frame.breakdown["vision"]) * frames + question.total_s
+        generation_s = generation.total_s * answer_tokens
+        return ScenarioResult(
+            system=system.name,
+            kv_len=kv_len,
+            batch=batch,
+            total_s=vision_s + prefill_s + generation_s,
+            vision_s=vision_s,
+            prefill_s=prefill_s,
+            generation_s=generation_s,
+            oom=frame.oom,
+        )
+
+    def step_energy_j(self, system: SystemConfig, step: StepResult) -> float:
+        """Energy of one pipeline step."""
+        return self.energy.inference_energy_j(
+            system.device,
+            latency_s=step.total_s,
+            pcie_busy_s=step.pcie_busy_s,
+            dram_bytes=step.dram_bytes,
+        )
+
+    def step_efficiency_gops_w(self, system: SystemConfig, step: StepResult) -> float:
+        """Energy efficiency (effective GOPS/W) of one pipeline step."""
+        energy = self.step_energy_j(system, step)
+        return self.energy.efficiency_gops_per_w(step.dense_flops, energy)
+
+    # ------------------------------------------------------------------ #
+    # timelines (Fig. 17)
+    # ------------------------------------------------------------------ #
+    def layer_timeline(self, system: SystemConfig, kv_len: int, batch: int = 1) -> Timeline:
+        """Activity timeline of one decoder layer during frame processing."""
+        q_len = self.llm.model.tokens_per_frame
+        selected = self._selected_tokens(system, kv_len, FRAME_STAGE)
+        device = self.device_for(system)
+        qkv_cost = KernelCost(
+            (self.llm.qkv_flops(q_len)) * batch,
+            self.llm.weight_bytes_per_layer() * 0.35,
+        )
+        attn_cost = KernelCost(
+            (self.llm.attention_flops(q_len, selected + q_len) + self.llm.output_proj_flops(q_len)) * batch,
+            selected * self.llm.kv_bytes_per_token_per_layer() * batch
+            + self.llm.weight_bytes_per_layer() * 0.3,
+        )
+        ffn_cost = KernelCost(
+            self.llm.ffn_flops(q_len) * batch, self.llm.weight_bytes_per_layer() * 0.35
+        )
+        qkv_t = device.dense_time_s(qkv_cost)
+        attn_t = device.dense_time_s(attn_cost)
+        ffn_t = device.dense_time_s(ffn_cost)
+        prediction_t, _ = self._prediction(system, q_len, kv_len, FRAME_STAGE, batch)
+        fetch_bytes, fetch_t = self._fetch(system, kv_len, FRAME_STAGE, batch)
+
+        timeline = Timeline()
+        bandwidth = system.device.memory_bandwidth_gbps
+
+        def bw(cost: KernelCost, duration: float) -> float:
+            if duration <= 0:
+                return 0.0
+            return min(cost.dram_bytes / duration / 1e9, bandwidth)
+
+        timeline.add("QKV Gen", "compute", 0.0, qkv_t, bw(qkv_cost, qkv_t))
+        timeline.add("Attention", "compute", qkv_t, attn_t, bw(attn_cost, attn_t))
+        timeline.add("FFN", "compute", qkv_t + attn_t, ffn_t, bw(ffn_cost, ffn_t))
+        # KV prediction for the next layer runs concurrently with attention.
+        timeline.add("KV Prediction", "dre", qkv_t, prediction_t, bandwidth * 0.3)
+        # KV retrieval trickles in over most of the layer at PCIe rate.
+        fetch_bw = 0.0
+        if fetch_t > 0:
+            fetch_bw = min(fetch_bytes / fetch_t / 1e9, system.device.pcie_bandwidth_gbps)
+        timeline.add("KV Retrieval", "pcie", 0.0, max(fetch_t, 0.0), fetch_bw)
+        return timeline

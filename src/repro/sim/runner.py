@@ -1,0 +1,112 @@
+"""Experiment sweep helpers for the performance plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.pipeline import LatencyModel, StepResult
+from repro.sim.systems import SystemConfig
+
+#: KV cache sequence lengths swept in Fig. 13–15.
+DEFAULT_KV_LENGTHS = (1_000, 5_000, 10_000, 20_000, 40_000)
+
+
+@dataclass
+class SweepRecord:
+    """One (system, kv_len, batch, stage) measurement."""
+
+    system: str
+    kv_len: int
+    batch: int
+    stage: str
+    latency_ms: float
+    fps: float
+    energy_j: float
+    efficiency_gops_w: float
+    oom: bool
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A collection of sweep records with simple query helpers."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def add(self, record: SweepRecord) -> None:
+        self.records.append(record)
+
+    def filter(self, **criteria) -> list[SweepRecord]:
+        """Records matching all given attribute values."""
+        out = []
+        for record in self.records:
+            if all(getattr(record, key) == value for key, value in criteria.items()):
+                out.append(record)
+        return out
+
+    def latency_series(self, system: str, stage: str, batch: int) -> dict[int, float]:
+        """kv_len -> latency (ms) for one system/stage/batch."""
+        return {
+            r.kv_len: r.latency_ms
+            for r in self.filter(system=system, stage=stage, batch=batch)
+        }
+
+    def efficiency_series(self, system: str, stage: str, batch: int) -> dict[int, float]:
+        """kv_len -> energy efficiency (GOPS/W)."""
+        return {
+            r.kv_len: r.efficiency_gops_w
+            for r in self.filter(system=system, stage=stage, batch=batch)
+        }
+
+    def speedup_over(self, baseline: str, system: str, stage: str, batch: int) -> dict[int, float]:
+        """kv_len -> latency speedup of ``system`` over ``baseline``."""
+        base = self.latency_series(baseline, stage, batch)
+        other = self.latency_series(system, stage, batch)
+        return {
+            kv_len: base[kv_len] / other[kv_len]
+            for kv_len in sorted(set(base) & set(other))
+            if other[kv_len] > 0
+        }
+
+
+class ExperimentRunner:
+    """Runs latency/energy sweeps over systems, KV lengths and batches."""
+
+    def __init__(self, model: LatencyModel | None = None):
+        self.model = model or LatencyModel()
+
+    def _record(self, system: SystemConfig, step: StepResult) -> SweepRecord:
+        energy = self.model.step_energy_j(system, step)
+        efficiency = self.model.step_efficiency_gops_w(system, step)
+        return SweepRecord(
+            system=system.name,
+            kv_len=step.kv_len,
+            batch=step.batch,
+            stage=step.stage,
+            latency_ms=step.total_ms,
+            fps=step.fps,
+            energy_j=energy,
+            efficiency_gops_w=efficiency,
+            oom=step.oom,
+            breakdown=dict(step.breakdown),
+        )
+
+    def sweep(
+        self,
+        systems: dict[str, SystemConfig],
+        kv_lengths=DEFAULT_KV_LENGTHS,
+        batches=(1,),
+        stages=("frame", "generation"),
+    ) -> SweepResult:
+        """Full sweep over systems x kv lengths x batches x stages."""
+        result = SweepResult()
+        for system in systems.values():
+            for batch in batches:
+                for kv_len in kv_lengths:
+                    if "frame" in stages:
+                        result.add(self._record(system, self.model.frame_step(system, kv_len, batch)))
+                    if "generation" in stages:
+                        result.add(
+                            self._record(system, self.model.generation_step(system, kv_len, batch))
+                        )
+        return result

@@ -1,0 +1,94 @@
+"""Tests for metrics, reporting helpers and breakdown utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import StageBreakdown, retrieval_overhead_fractions, scenario_breakdowns
+from repro.analysis.metrics import (
+    efficiency_gain,
+    fps_from_latency_ms,
+    geometric_mean,
+    is_real_time,
+    pearson_correlation,
+    speedup,
+    speedup_range,
+)
+from repro.analysis.reporting import format_breakdown, format_series, format_table
+from repro.sim.pipeline import LatencyModel
+from repro.sim.systems import edge_systems
+from repro.sim.workload import default_llm_workload
+
+
+class TestMetrics:
+    def test_fps_and_real_time(self):
+        assert fps_from_latency_ms(100.0) == pytest.approx(10.0)
+        assert fps_from_latency_ms(250.0, batch=4) == pytest.approx(16.0)
+        assert fps_from_latency_ms(0.0) == 0.0
+        assert is_real_time(400.0)
+        assert not is_real_time(600.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == float("inf")
+        assert speedup_range({1: 2.0, 2: 8.0, 3: 4.0}) == (2.0, 8.0)
+        assert speedup_range({}) == (0.0, 0.0)
+
+    def test_efficiency_gain(self):
+        gains = efficiency_gain({1: 10.0, 2: 20.0}, {1: 30.0, 2: 10.0})
+        assert gains == {1: 3.0, 2: 0.5}
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_pearson_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+        assert abs(pearson_correlation(x, np.ones(10))) < 1e-9
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", True]], title="T")
+        assert "T" in text and "2.50" in text and "yes" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_series_and_breakdown(self):
+        assert "1K: 3" in format_series({"1K": 3}, "s").replace(".00", "")
+        text = format_breakdown({"a": 1.0, "b": 3.0})
+        assert "25.0%" in text and "75.0%" in text
+
+
+class TestBreakdownHelpers:
+    def test_scenario_breakdowns_and_fractions(self):
+        model = LatencyModel()
+        systems = edge_systems(default_llm_workload().model_bytes())
+        breakdowns = scenario_breakdowns(model, systems["AGX + FlexGen"], (1_000, 40_000))
+        assert len(breakdowns) == 2
+        for breakdown in breakdowns:
+            total = (
+                breakdown.vision_fraction
+                + breakdown.prefill_fraction
+                + breakdown.generation_fraction
+            )
+            assert total == pytest.approx(1.0)
+        assert isinstance(breakdowns[0], StageBreakdown)
+
+    def test_retrieval_overhead_dominates_for_topk_prefill(self):
+        """Fig. 4(c): retrieval (prediction + fetch) is the main cost at 40K."""
+        from repro.hw.specs import A100
+        from repro.sim.systems import gpu_system, infinigen_p_policy
+
+        model = LatencyModel()
+        system = gpu_system(A100, infinigen_p_policy(), name="A100 + InfiniGenP")
+        fractions = retrieval_overhead_fractions(model, system, kv_len=40_000)
+        assert fractions["retrieval"] > 0.6
+        assert fractions["llm"] < 0.4
+        assert fractions["llm"] + fractions["retrieval"] == pytest.approx(1.0)

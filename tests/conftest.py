@@ -1,0 +1,72 @@
+"""Shared fixtures for the V-Rex reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, ReSVConfig
+from repro.core.resv import ReSVRetriever
+from repro.model.llm import StreamingVideoLLM
+from repro.video.coin import CoinBenchmark, CoinBenchmarkConfig
+from repro.video.synthetic import SyntheticVideoConfig, SyntheticVideoStream
+
+
+@pytest.fixture
+def tiny_model_config() -> ModelConfig:
+    """Very small model used by most functional tests."""
+    return ModelConfig(
+        name="tiny",
+        num_layers=2,
+        hidden_dim=32,
+        num_heads=4,
+        num_kv_heads=2,
+        ffn_dim=64,
+        vocab_size=64,
+        tokens_per_frame=4,
+    )
+
+
+@pytest.fixture
+def tiny_model(tiny_model_config) -> StreamingVideoLLM:
+    """A tiny model with no retriever attached."""
+    return StreamingVideoLLM(tiny_model_config, seed=0)
+
+
+@pytest.fixture
+def tiny_resv(tiny_model_config) -> ReSVRetriever:
+    """ReSV retriever sized for the tiny model."""
+    return ReSVRetriever(
+        tiny_model_config.num_layers,
+        tiny_model_config.num_kv_heads,
+        tiny_model_config.head_dim,
+        ReSVConfig(n_hyperplanes=16, hamming_threshold=4, wicsum_ratio=0.5),
+    )
+
+
+@pytest.fixture
+def tiny_video() -> SyntheticVideoStream:
+    """Short synthetic video in the tiny model's embedding space."""
+    return SyntheticVideoStream(
+        SyntheticVideoConfig(num_frames=6, tokens_per_frame=4, hidden_dim=32, seed=1)
+    )
+
+
+@pytest.fixture
+def small_benchmark() -> CoinBenchmark:
+    """Small COIN benchmark (smaller episodes than the default)."""
+    return CoinBenchmark(
+        CoinBenchmarkConfig(
+            hidden_dim=128,
+            tokens_per_frame=8,
+            num_steps=4,
+            frames_per_step=2,
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need random data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,192 @@
+"""Tests for the baseline retrieval algorithms and quantisation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    FlexGenRetriever,
+    OakenKVStore,
+    budget_from_ratio,
+    dequantize,
+    make_infinigen,
+    make_infinigen_p,
+    make_rekv,
+    quantization_error,
+    quantize,
+    token_importance,
+    topk_indices,
+)
+from repro.core.retrieval_base import FRAME_STAGE, GENERATION_STAGE, FullRetriever, Selection
+from repro.model.kvcache import LayerKVCache
+
+
+def _filled_cache(rng, tokens=24, kv_heads=2, head_dim=8, tokens_per_frame=6) -> LayerKVCache:
+    cache = LayerKVCache(num_kv_heads=kv_heads, head_dim=head_dim)
+    for start in range(0, tokens, tokens_per_frame):
+        keys = rng.normal(size=(kv_heads, tokens_per_frame, head_dim))
+        values = rng.normal(size=(kv_heads, tokens_per_frame, head_dim))
+        cache.append(keys, values, np.arange(start, start + tokens_per_frame),
+                     frame_id=start // tokens_per_frame)
+    return cache
+
+
+class TestTopKUtilities:
+    def test_token_importance_max_pools_over_queries(self, rng):
+        keys = rng.normal(size=(10, 8))
+        queries = rng.normal(size=(3, 8))
+        importance = token_importance(queries, keys)
+        expected = (queries @ keys.T).max(axis=0)
+        np.testing.assert_allclose(importance, expected)
+
+    def test_topk_indices_returns_largest(self):
+        importance = np.array([0.1, 5.0, 3.0, -1.0, 4.0])
+        np.testing.assert_array_equal(topk_indices(importance, 2), [1, 4])
+
+    def test_topk_handles_k_larger_than_n(self):
+        np.testing.assert_array_equal(topk_indices(np.array([1.0, 2.0]), 10), [0, 1])
+
+    def test_topk_zero(self):
+        assert topk_indices(np.array([1.0, 2.0]), 0).size == 0
+
+    def test_budget_from_ratio(self):
+        assert budget_from_ratio(100, 0.5) == 50
+        assert budget_from_ratio(100, 0.001) == 1
+        assert budget_from_ratio(0, 0.5) == 0
+
+    def test_token_importance_validation(self, rng):
+        with pytest.raises(ValueError):
+            token_importance(rng.normal(size=(3, 8)), rng.normal(size=(10, 7)))
+
+
+class TestSelection:
+    def test_full_and_empty(self):
+        full = Selection.full(2, 10)
+        assert full.selected_counts() == [10, 10]
+        assert full.mean_ratio(10) == 1.0
+        empty = Selection.empty(2)
+        assert empty.selected_counts() == [0, 0]
+        assert empty.mean_ratio(10) == 0.0
+
+    def test_mean_ratio_empty_cache(self):
+        assert Selection.empty(2).mean_ratio(0) == 1.0
+
+
+class TestFlexGenAndFull:
+    def test_flexgen_selects_everything(self, rng):
+        cache = _filled_cache(rng)
+        retriever = FlexGenRetriever()
+        selection = retriever.select(0, rng.normal(size=(4, 2, 8)), cache)
+        assert selection.mean_ratio(len(cache)) == 1.0
+
+    def test_full_retriever_matches_flexgen(self, rng):
+        cache = _filled_cache(rng)
+        queries = rng.normal(size=(4, 2, 8))
+        a = FullRetriever().select(0, queries, cache)
+        b = FlexGenRetriever().select(0, queries, cache)
+        for x, y in zip(a.per_kv_head_indices, b.per_kv_head_indices):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestInfiniGen:
+    def test_no_prefill_retrieval(self, rng):
+        cache = _filled_cache(rng)
+        retriever = make_infinigen()
+        retriever.stage = FRAME_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 2, 8)), cache)
+        assert selection.mean_ratio(len(cache)) == 1.0
+
+    def test_generation_stage_uses_topk(self, rng):
+        cache = _filled_cache(rng)
+        retriever = make_infinigen(generation_ratio=0.25)
+        retriever.stage = GENERATION_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 1, 8)), cache)
+        assert selection.mean_ratio(len(cache)) == pytest.approx(0.25, abs=0.05)
+
+    def test_infinigen_p_prefill_ratio(self, rng):
+        cache = _filled_cache(rng)
+        retriever = make_infinigen_p(prefill_ratio=0.5)
+        retriever.stage = FRAME_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 2, 8)), cache)
+        assert selection.mean_ratio(len(cache)) == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_cache(self, rng):
+        cache = LayerKVCache(num_kv_heads=2, head_dim=8)
+        selection = make_infinigen_p().select(0, rng.normal(size=(4, 1, 8)), cache)
+        assert all(idx.size == 0 for idx in selection.per_kv_head_indices)
+
+    def test_selected_tokens_have_highest_scores(self, rng):
+        cache = _filled_cache(rng, kv_heads=1)
+        retriever = make_infinigen_p(prefill_ratio=0.25)
+        retriever.stage = FRAME_STAGE
+        queries = rng.normal(size=(2, 1, 8))
+        selection = retriever.select(0, queries, cache)
+        rows = queries.reshape(-1, 8)
+        importance = token_importance(rows, cache.keys[0])
+        expected = set(topk_indices(importance, selection.per_kv_head_indices[0].size).tolist())
+        assert set(selection.per_kv_head_indices[0].tolist()) == expected
+
+
+class TestReKV:
+    def test_frame_level_selection_keeps_whole_frames(self, rng):
+        cache = _filled_cache(rng, tokens=24, tokens_per_frame=6)
+        retriever = make_rekv(prefill_ratio=0.4)
+        retriever.stage = FRAME_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 2, 8)), cache)
+        frame_ids = cache.frame_ids
+        for indices in selection.per_kv_head_indices:
+            selected_frames = np.unique(frame_ids[indices])
+            for frame in selected_frames:
+                frame_tokens = np.nonzero(frame_ids == frame)[0]
+                assert np.all(np.isin(frame_tokens, indices))
+
+    def test_ratio_respected_approximately(self, rng):
+        cache = _filled_cache(rng, tokens=60, tokens_per_frame=6)
+        retriever = make_rekv(prefill_ratio=0.5)
+        retriever.stage = FRAME_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 2, 8)), cache)
+        ratio = selection.mean_ratio(len(cache))
+        assert 0.4 <= ratio <= 0.7
+
+    def test_generation_ratio_smaller(self, rng):
+        cache = _filled_cache(rng, tokens=60, tokens_per_frame=6)
+        retriever = make_rekv(prefill_ratio=0.6, generation_ratio=0.2)
+        retriever.stage = GENERATION_STAGE
+        selection = retriever.select(0, rng.normal(size=(4, 1, 8)), cache)
+        assert selection.mean_ratio(len(cache)) < 0.5
+
+
+class TestOakenQuantisation:
+    def test_roundtrip_error_small(self, rng):
+        tensor = rng.normal(size=(4, 16, 32))
+        error = quantization_error(tensor, bits=4)
+        assert error < 0.2
+
+    def test_more_bits_lower_error(self, rng):
+        tensor = rng.normal(size=(8, 64))
+        assert quantization_error(tensor, bits=8) < quantization_error(tensor, bits=3)
+
+    def test_storage_compression(self, rng):
+        tensor = rng.normal(size=(16, 128))
+        quantised = quantize(tensor, bits=4)
+        assert quantised.storage_bytes() < tensor.size * 2
+
+    def test_dequantize_shape(self, rng):
+        tensor = rng.normal(size=(3, 5, 17))
+        restored = dequantize(quantize(tensor, bits=4, group_size=8))
+        assert restored.shape == tensor.shape
+
+    def test_invalid_bits(self, rng):
+        with pytest.raises(ValueError):
+            quantize(rng.normal(size=(4, 4)), bits=1)
+
+    def test_kv_store(self, rng):
+        store = OakenKVStore(bits=4)
+        keys = rng.normal(size=(2, 6, 8))
+        values = rng.normal(size=(2, 6, 8))
+        store.append(keys, values)
+        restored_k, restored_v = store.materialise()
+        assert restored_k.shape == keys.shape
+        assert np.linalg.norm(restored_k - keys) / np.linalg.norm(keys) < 0.2
+        assert store.storage_bytes() > 0

@@ -1,0 +1,124 @@
+"""Tests for the experiment drivers (performance-plane figures and tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig04_motivation,
+    fig13_latency_energy,
+    fig14_e2e_breakdown,
+    fig15_throughput_oaken,
+    fig16_ablation_hw,
+    fig17_bandwidth,
+    fig18_roofline,
+    table03_area_power,
+)
+
+
+class TestFig04:
+    def test_panels(self):
+        result = fig04_motivation.run(durations_min=(1, 6, 10), kv_lengths=(1_000, 40_000, 80_000))
+        assert any(row["exceeds_edge_gpu"] for row in result.memory_rows)
+        assert result.memory_rows[0]["total_gib"] < result.memory_rows[-1]["total_gib"]
+        prefill = [row["prefill_pct"] for row in result.breakdown_rows]
+        assert prefill == sorted(prefill)
+        assert prefill[-1] > 60.0
+        assert result.overhead_40k["retrieval"] > 0.5
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig13_latency_energy.run(kv_lengths=(1_000, 10_000, 40_000))
+
+    def test_edge_headlines(self, results):
+        edge = results["edge"]
+        assert all(v > 1.0 for v in edge.frame_speedup_b1.values())
+        assert all(v > 1.0 for v in edge.tpot_speedup_b1.values())
+        assert all(v > 1.0 for v in edge.energy_gain_frame_b1.values())
+        assert all(fps >= 2.0 for fps in edge.vrex_fps.values())
+
+    def test_server_headlines(self, results):
+        server = results["server"]
+        assert all(v > 1.0 for v in server.frame_speedup_b1.values())
+        assert max(server.frame_speedup_large_batch.values()) > max(
+            server.frame_speedup_b1.values()
+        ) * 0.8
+
+    def test_speedup_grows_with_cache_initially(self, results):
+        edge = results["edge"]
+        assert edge.frame_speedup_b1[10_000] > edge.frame_speedup_b1[1_000]
+
+
+class TestFig14:
+    def test_reduction_grows_with_cache(self):
+        result = fig14_e2e_breakdown.run(kv_lengths=(1_000, 10_000, 40_000))
+        assert result.vrex_reduction[40_000] > result.vrex_reduction[1_000]
+        assert result.vrex_reduction[40_000] > 2.0
+        for name, series in result.normalised.items():
+            if name != "V-Rex8":
+                assert all(v >= 1.0 for v in series.values())
+
+
+class TestFig15:
+    def test_oom_crossovers(self):
+        result = fig15_throughput_oaken.run()
+        assert result.first_oom_length("AGX Orin") == 10_000
+        assert result.first_oom_length("Oaken") == 40_000
+        assert result.first_oom_length("V-Rex8") is None
+        assert all(fps > 0 for fps in result.fps["V-Rex8"].values())
+        # Oaken's quantised cache survives longer than the FP16 cache.
+        assert result.first_oom_length("Oaken") > result.first_oom_length("AGX Orin")
+
+
+class TestFig16:
+    def test_cumulative_gains(self):
+        result = fig16_ablation_hw.run()
+        resv = result.point("AGX + ReSV")
+        kvpu = result.point("V-Rex8 KVPU")
+        full = result.point("V-Rex8 All")
+        assert 1.2 < resv.speedup_vs_baseline < kvpu.speedup_vs_baseline < full.speedup_vs_baseline
+        assert full.speedup_vs_baseline > 5.0
+        assert full.energy_reduction_vs_baseline > 5.0
+        # The KVPU removes the GPU prediction bottleneck.
+        assert resv.prediction_fraction > 0.2
+        assert kvpu.prediction_fraction < 0.05
+
+
+class TestFig17:
+    def test_overlap_properties(self):
+        result = fig17_bandwidth.run()
+        assert result.prediction_hidden
+        assert result.retrieval_bandwidth_fraction < 0.05
+        assert result.retrieval_duration_fraction > 0.5
+        assert "KV Retrieval" in result.traces and "Attention" in result.traces
+
+
+class TestFig18:
+    def test_utilisation_ordering(self):
+        result = fig18_roofline.run()
+        flexgen = result.point("AGX + FlexGen")
+        vrex = result.point("V-Rex8")
+        assert vrex.achieved_fraction > result.point("AGX + ReKV").achieved_fraction
+        assert vrex.achieved_fraction > flexgen.achieved_fraction
+        assert result.utilisation_gain("V-Rex8", "AGX + FlexGen") > 2.0
+        assert flexgen.achieved_fraction < 0.2
+
+
+class TestTable03:
+    def test_breakdown_matches_paper(self):
+        result = table03_area_power.run()
+        assert result.core_area_mm2 == pytest.approx(1.89, abs=0.01)
+        assert result.core_power_mw == pytest.approx(2609.43, abs=1.0)
+        assert result.dre_area_fraction < 0.03
+        assert result.dre_power_fraction < 0.03
+        assert result.vrex8_area_mm2 < 200
+        assert result.vrex48_area_mm2 < 826
+        assert result.vrex8_system_power_w < result.agx_power_w
+        assert result.vrex48_system_power_w < result.a100_power_w
+
+    def test_main_prints(self, capsys):
+        table03_area_power.main()
+        out = capsys.readouterr().out
+        assert "Table III" in out and "DPE" in out

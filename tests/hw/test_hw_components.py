@@ -1,0 +1,310 @@
+"""Tests for the hardware plane: specs, compute, memory, DRE, energy, roofline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.accelerator import VRexAccelerator
+from repro.hw.compute import ComputeEngine, KernelCost
+from repro.hw.dre.hcu import HCUModel, HCUWork
+from repro.hw.dre.kvmu import KVFetchWork, KVMUModel
+from repro.hw.dre.wtu import WTUModel, WTUWork
+from repro.hw.energy import EnergyModel, core_area_power, vrex_chip_area_mm2
+from repro.hw.event import Timeline
+from repro.hw.gpu import GPUDevice, pcie_config_for
+from repro.hw.memory.dram import LPDDR5, DRAMModel
+from repro.hw.memory.hierarchy import HierarchicalKVManager
+from repro.hw.memory.pcie import PCIE3_X4, PCIE4_X16, PCIeLink
+from repro.hw.memory.ssd import SSDModel
+from repro.hw.roofline import attainable_tflops, ridge_point, roofline_curve
+from repro.hw.specs import A100, AGX_ORIN, VREX8, VREX48, VRexCoreConfig, table_i_rows
+
+
+class TestSpecs:
+    def test_table_i_values(self):
+        """Table I — hardware specifications."""
+        assert AGX_ORIN.peak_tflops == 54.0
+        assert AGX_ORIN.memory_bandwidth_gbps == pytest.approx(204.8)
+        assert AGX_ORIN.pcie_bandwidth_gbps == 4.0
+        assert AGX_ORIN.power_w == 40.0
+        assert A100.peak_tflops == 312.0
+        assert A100.memory_bandwidth_gbps == pytest.approx(1935.0)
+        assert A100.pcie_bandwidth_gbps == 32.0
+
+    def test_vrex_derived_throughput_matches_table_i(self):
+        assert VREX8.peak_tflops == pytest.approx(53.3, rel=0.05)
+        assert VREX48.peak_tflops == pytest.approx(319.5, rel=0.05)
+        assert VREX8.num_cores == 8
+        assert VREX48.num_cores == 48
+
+    def test_core_config_throughput(self):
+        core = VRexCoreConfig()
+        assert core.peak_tflops == pytest.approx(2 * 64 * 64 * 800e6 / 1e12)
+        assert core.hcu_bits_per_cycle == 16
+        assert core.wtu_elements_per_cycle == 16
+
+    def test_table_rows(self):
+        rows = table_i_rows()
+        assert len(rows) == 4
+        assert {r["name"] for r in rows} == {"AGX Orin", "V-Rex8", "A100", "V-Rex48"}
+
+    def test_pcie_config_selection(self):
+        assert pcie_config_for(AGX_ORIN) is PCIE3_X4
+        assert pcie_config_for(A100) is PCIE4_X16
+
+
+class TestComputeEngine:
+    def test_compute_bound_kernel(self):
+        engine = ComputeEngine(peak_tflops=10, memory_bandwidth_gbps=1000, utilization=1.0)
+        cost = KernelCost(flops=1e12, dram_bytes=1e6)
+        assert engine.time_s(cost) == pytest.approx(0.1)
+
+    def test_memory_bound_kernel(self):
+        engine = ComputeEngine(peak_tflops=1000, memory_bandwidth_gbps=100, bandwidth_utilization=1.0)
+        cost = KernelCost(flops=1e9, dram_bytes=1e9)
+        assert engine.time_s(cost) == pytest.approx(0.01)
+
+    def test_kernel_cost_add_and_scale(self):
+        total = KernelCost(1.0, 2.0) + KernelCost(3.0, 4.0)
+        assert total.flops == 4.0 and total.dram_bytes == 6.0
+        scaled = total.scale(2)
+        assert scaled.flops == 8.0 and scaled.dram_bytes == 12.0
+        assert KernelCost(10.0, 2.0).operational_intensity == 5.0
+        assert KernelCost(10.0, 0.0).operational_intensity == float("inf")
+
+    def test_achieved_never_exceeds_sustained(self):
+        engine = ComputeEngine(peak_tflops=10, memory_bandwidth_gbps=100, utilization=0.5)
+        cost = KernelCost(flops=1e12, dram_bytes=1e9)
+        assert engine.achieved_tflops(cost) <= 5.0 + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ComputeEngine(0, 100)
+        with pytest.raises(ValueError):
+            ComputeEngine(10, 100, utilization=0)
+
+
+class TestMemoryModels:
+    def test_dram_transfer_time_scales_with_bytes(self):
+        dram = DRAMModel(LPDDR5)
+        assert dram.transfer_time_s(2e9) > dram.transfer_time_s(1e9)
+        assert dram.transfer_time_s(0) == 0.0
+        assert dram.energy_j(1e9) == pytest.approx(4e-3)
+
+    def test_dram_efficiency_grows_with_access_size(self):
+        dram = DRAMModel(LPDDR5)
+        assert dram.access_efficiency(64) < dram.access_efficiency(2048)
+
+    def test_ssd_sequential_faster_than_random(self):
+        ssd = SSDModel()
+        num_bytes = 1e9
+        assert ssd.read_time_s(num_bytes, sequential_fraction=1.0) < ssd.read_time_s(
+            num_bytes, sequential_fraction=0.0
+        )
+        assert ssd.write_time_s(0) == 0.0
+        assert ssd.energy_j(1.0) > ssd.energy_j(0.5)
+
+    def test_pcie_efficiency_saturates(self):
+        link = PCIeLink(PCIE3_X4)
+        assert link.efficiency(128) < link.efficiency(256 * 1024)
+        assert link.efficiency(10 * 1024 * 1024) == pytest.approx(PCIE3_X4.max_efficiency)
+
+    def test_pcie_transfer_time(self):
+        link = PCIeLink(PCIE3_X4)
+        one_gb = link.transfer_time_s(4e9, efficiency=1.0)
+        assert one_gb == pytest.approx(1.0, rel=0.01)
+        assert link.power_w() == pytest.approx(12.0)
+
+    def test_pcie_invalid_efficiency(self):
+        link = PCIeLink(PCIE3_X4)
+        with pytest.raises(ValueError):
+            link.transfer_time_s(1e6, efficiency=0.0)
+
+
+class TestHierarchicalKVManager:
+    def test_eviction_oldest_first(self):
+        manager = HierarchicalKVManager(bytes_per_token=100.0, device_budget_bytes=500.0)
+        evicted = manager.append(10)
+        assert evicted == 5
+        assert manager.resident_tokens == 5
+        assert not manager.is_resident(0)
+        assert manager.is_resident(9)
+
+    def test_fetch_splits_resident_and_offchip(self):
+        manager = HierarchicalKVManager(bytes_per_token=100.0, device_budget_bytes=500.0)
+        manager.append(10)
+        result = manager.fetch(np.array([0, 1, 7, 8]))
+        assert result.resident_tokens == 2
+        assert result.offchip_tokens == 2
+        assert result.offchip_bytes == 200.0
+        assert result.hit_ratio == 0.5
+
+    def test_cluster_mapping_coalesces_transfers(self):
+        """Fetching one cluster's tokens is a single transfer with KVMU mapping."""
+        cluster_ids = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        clustered = HierarchicalKVManager(100.0, 0.0, cluster_mapping=True)
+        clustered.append(8, cluster_ids=cluster_ids)
+        scattered = HierarchicalKVManager(100.0, 0.0, cluster_mapping=False)
+        scattered.append(8, cluster_ids=cluster_ids)
+        request = np.array([0, 2, 4, 6])  # cluster 0 only, interleaved in arrival order
+        assert clustered.fetch(request).num_transfers == 1
+        assert scattered.fetch(request).num_transfers == 4
+        assert clustered.fetch(request).mean_contiguous_bytes > scattered.fetch(
+            request
+        ).mean_contiguous_bytes
+
+    def test_fetch_out_of_range(self):
+        manager = HierarchicalKVManager(100.0, 1000.0)
+        manager.append(3)
+        with pytest.raises(IndexError):
+            manager.fetch(np.array([5]))
+
+    @given(
+        chunks=st.lists(st.integers(1, 20), min_size=1, max_size=10),
+        budget_tokens=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_residency_invariants(self, chunks, budget_tokens):
+        manager = HierarchicalKVManager(
+            bytes_per_token=10.0, device_budget_bytes=budget_tokens * 10.0
+        )
+        for chunk in chunks:
+            manager.append(chunk)
+        assert manager.resident_tokens + manager.offloaded_tokens == manager.num_tokens
+        assert manager.resident_tokens <= max(budget_tokens, 0)
+        assert manager.device_bytes() + manager.offloaded_bytes() == manager.num_tokens * 10.0
+
+
+class TestDREUnits:
+    def test_hcu_time_scales_with_work(self):
+        hcu = HCUModel(num_cores=8)
+        small = HCUWork(new_tokens=10, num_clusters=100, n_bits=32, kv_heads=8)
+        large = HCUWork(new_tokens=10, num_clusters=1000, n_bits=32, kv_heads=8)
+        assert hcu.time_s(large) > hcu.time_s(small)
+        assert hcu.energy_j(small) > 0
+
+    def test_hcu_more_cores_faster(self):
+        work = HCUWork(10, 500, 32, 8)
+        assert HCUModel(num_cores=8).time_s(work) < HCUModel(num_cores=1).time_s(work)
+
+    def test_wtu_early_exit_speedup(self):
+        wtu = WTUModel(num_cores=8)
+        work = WTUWork(rows=320, clusters=1250, sort_fraction=0.16)
+        assert wtu.early_exit_speedup(work) > 1.3
+        assert wtu.time_s(work) < wtu.time_s(WTUWork(320, 1250, sort_fraction=1.0, early_exit=False))
+
+    def test_wtu_invalid_sort_fraction(self):
+        with pytest.raises(ValueError):
+            WTUWork(rows=1, clusters=1, sort_fraction=1.5)
+
+    def test_dre_prediction_is_microseconds(self):
+        """The DRE hides prediction under LLM compute — it must be tiny."""
+        hcu, wtu = HCUModel(num_cores=8), WTUModel(num_cores=8)
+        total = hcu.time_s(HCUWork(10, 1250, 32, 8)) + wtu.time_s(WTUWork(320, 1250))
+        assert total < 1e-3
+
+    def test_kvmu_cluster_mapping_speeds_up_fetch(self):
+        link = PCIeLink(PCIE3_X4)
+        clustered = KVMUModel(link, cluster_mapping=True)
+        scattered = KVMUModel(link, cluster_mapping=False)
+        work = KVFetchWork(total_bytes=1e8, mean_contiguous_bytes=128 * 1024, from_ssd=True)
+        assert clustered.fetch_time_s(work) < scattered.fetch_time_s(work)
+        assert clustered.fetch_time_s(KVFetchWork(0.0, 1.0)) == 0.0
+
+    def test_kvmu_offload_is_streaming(self):
+        kvmu = KVMUModel(PCIeLink(PCIE3_X4))
+        assert kvmu.offload_time_s(1e6) > 0
+        assert kvmu.offload_time_s(0) == 0
+
+
+class TestDevices:
+    def test_gpu_irregular_slower_than_dense(self):
+        gpu = GPUDevice(AGX_ORIN)
+        cost = KernelCost(flops=1e11, dram_bytes=1e8)
+        assert gpu.irregular_time_s(cost) > gpu.dense_time_s(cost)
+
+    def test_gpu_fetch_and_oom(self):
+        gpu = GPUDevice(AGX_ORIN)
+        assert gpu.fetch_time_s(4e9) > 0.9
+        assert gpu.fits_in_memory(16e9)
+        assert not gpu.fits_in_memory(40e9)
+
+    def test_vrex_accelerator_requires_vrex_spec(self):
+        with pytest.raises(ValueError):
+            VRexAccelerator(AGX_ORIN)
+
+    def test_vrex_prediction_and_fetch(self):
+        accel = VRexAccelerator(VREX8)
+        pred = accel.prediction_time_s(HCUWork(10, 1250, 32, 8), WTUWork(320, 1250))
+        assert pred < 1e-3
+        fetch = accel.fetch_time_s(KVFetchWork(1e8, 128 * 1024, from_ssd=True))
+        assert fetch > 0
+        assert accel.fits_in_memory(1e9)
+
+
+class TestEnergyAndRoofline:
+    def test_table_iii_totals(self):
+        aggregate = core_area_power()
+        assert aggregate.total_area_mm2 == pytest.approx(1.89, abs=0.01)
+        assert aggregate.total_power_mw == pytest.approx(2609.43, abs=0.5)
+        assert aggregate.dre_area_fraction == pytest.approx(0.02, abs=0.01)
+        assert aggregate.dre_power_fraction == pytest.approx(0.022, abs=0.01)
+
+    def test_chip_areas_smaller_than_gpus(self):
+        assert vrex_chip_area_mm2(8) < 200.0
+        assert vrex_chip_area_mm2(48) < 826.0
+
+    def test_system_power_near_paper_values(self):
+        energy = EnergyModel()
+        assert energy.vrex_system_power(8).total_w == pytest.approx(35.0, rel=0.15)
+        assert energy.vrex_system_power(48).total_w == pytest.approx(203.68, rel=0.15)
+        assert energy.vrex_system_power(8).total_w < AGX_ORIN.power_w
+        assert energy.vrex_system_power(48).total_w < A100.power_w
+
+    def test_inference_energy(self):
+        energy = EnergyModel()
+        gpu_energy = energy.inference_energy_j(AGX_ORIN, latency_s=1.0)
+        assert gpu_energy == pytest.approx(40.0)
+        vrex_energy = energy.inference_energy_j(VREX8, latency_s=1.0, pcie_busy_s=0.5)
+        assert 0 < vrex_energy < gpu_energy
+        assert EnergyModel.efficiency_gops_per_w(1e12, 10.0) == pytest.approx(100.0)
+
+    def test_roofline(self):
+        assert attainable_tflops(1000.0, 54.0, 204.8) == 54.0
+        assert attainable_tflops(1.0, 54.0, 204.8) == pytest.approx(0.2048)
+        intensities, ceiling = roofline_curve(54.0, 204.8)
+        assert len(intensities) == len(ceiling)
+        assert ceiling.max() == pytest.approx(54.0)
+        assert ridge_point(54.0, 204.8) == pytest.approx(54e12 / 204.8e9)
+
+
+class TestTimeline:
+    def test_busy_time_merges_overlaps(self):
+        timeline = Timeline()
+        timeline.add("a", "compute", 0.0, 2.0)
+        timeline.add("b", "compute", 1.0, 2.0)
+        assert timeline.busy_time_s("compute") == pytest.approx(3.0)
+        assert timeline.makespan_s == pytest.approx(3.0)
+
+    def test_overlap_between_tasks(self):
+        timeline = Timeline()
+        timeline.add("attn", "compute", 1.0, 2.0)
+        timeline.add("pred", "dre", 1.5, 1.0)
+        assert timeline.overlap_s("pred", "attn") == pytest.approx(1.0)
+
+    def test_bandwidth_trace_sums_concurrent_tasks(self):
+        timeline = Timeline()
+        timeline.add("a", "dram", 0.0, 1.0, bandwidth_gbps=10.0)
+        timeline.add("b", "dram", 0.5, 1.0, bandwidth_gbps=5.0)
+        times, usage = timeline.bandwidth_trace(resolution=100)
+        assert usage.max() == pytest.approx(15.0)
+        assert times[-1] == pytest.approx(1.5)
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            Timeline().add("a", "x", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            Timeline().bandwidth_trace(resolution=1)

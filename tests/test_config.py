@@ -1,0 +1,88 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    ModelConfig,
+    ReSVConfig,
+    StreamingConfig,
+    TopKConfig,
+    llama3_8b_config,
+    toy_model_config,
+    toy_vision_config,
+)
+
+
+class TestModelConfig:
+    def test_toy_defaults(self):
+        cfg = toy_model_config()
+        assert cfg.head_dim * cfg.num_heads == cfg.hidden_dim
+        assert cfg.gqa_group_size == 1
+
+    def test_llama3_dimensions(self):
+        cfg = llama3_8b_config()
+        assert cfg.num_layers == 32
+        assert cfg.hidden_dim == 4096
+        assert cfg.num_kv_heads == 8
+        assert cfg.head_dim == 128
+        assert cfg.ffn_dim == 14336
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_dim=65, num_heads=4)
+        with pytest.raises(ValueError):
+            ModelConfig(num_heads=4, num_kv_heads=3)
+
+    def test_replace_and_overrides(self):
+        cfg = toy_model_config(num_layers=7)
+        assert cfg.num_layers == 7
+        assert cfg.replace(hidden_dim=128).hidden_dim == 128
+
+    def test_kv_bytes_per_token(self):
+        cfg = toy_model_config()
+        expected = cfg.num_layers * 2 * cfg.num_kv_heads * cfg.head_dim * cfg.dtype_bytes
+        assert cfg.kv_bytes_per_token() == expected
+
+
+class TestAlgorithmConfigs:
+    def test_resv_defaults_match_paper(self):
+        cfg = ReSVConfig()
+        assert cfg.n_hyperplanes == 32
+        assert cfg.hamming_threshold == 7
+        assert cfg.wicsum_ratio == pytest.approx(0.3)
+
+    def test_resv_validation(self):
+        with pytest.raises(ValueError):
+            ReSVConfig(n_hyperplanes=0)
+        with pytest.raises(ValueError):
+            ReSVConfig(wicsum_ratio=0.0)
+        with pytest.raises(ValueError):
+            ReSVConfig(hamming_threshold=-1)
+        with pytest.raises(ValueError):
+            ReSVConfig(recent_window=-1)
+
+    def test_topk_validation(self):
+        with pytest.raises(ValueError):
+            TopKConfig(prefill_ratio=0.0)
+        with pytest.raises(ValueError):
+            TopKConfig(generation_ratio=1.5)
+        assert TopKConfig().replace(prefill_ratio=0.7).prefill_ratio == 0.7
+
+    def test_streaming_defaults_match_coin_scenario(self):
+        cfg = StreamingConfig()
+        assert cfg.frames_per_query == 26
+        assert cfg.question_tokens == 25
+        assert cfg.answer_tokens == 39
+
+    def test_experiment_bundle(self):
+        bundle = ExperimentConfig()
+        assert bundle.model.name == "toy"
+        assert bundle.vision == toy_vision_config()
+        assert bundle.replace(seed=5).seed == 5
+
+    def test_vision_config_patches(self):
+        cfg = toy_vision_config()
+        assert cfg.num_patches == (cfg.image_size // cfg.patch_size) ** 2
