@@ -1,0 +1,171 @@
+"""Clustering-engine throughput: vectorized HC table vs the seed reference.
+
+Measures ``update`` + ``select`` tokens/sec at several cache sizes for
+
+* the array-backed engine in :mod:`repro.core.clustering`, and
+* a faithful port of the seed list-of-dataclasses implementation
+  (:class:`tests.core.test_equivalence.ReferenceTable`),
+
+and writes the results to ``BENCH_clustering.json``.  The reference table
+is timed on the *same* table state (cloned from the engine after the fill
+phase) so both measure steady-state work at identical cluster counts.
+
+Run with:  PYTHONPATH=src:tests python benchmarks/bench_clustering.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.config import ReSVConfig  # noqa: E402
+from repro.core.clustering import HashClusterTable  # noqa: E402
+from repro.core.hashbit import HashBitEncoder  # noqa: E402
+from repro.core.wicsum import importance_scores, wicsum_select  # noqa: E402
+
+HEAD_DIM = 128
+N_BITS = 32
+CHUNK = 64
+SCENE_EVERY = 2048  # tokens between scene cuts (keeps cluster counts realistic)
+MEASURE_TOKENS = 256  # steady-state update tokens timed per engine
+SELECT_QUERIES = 8
+REFERENCE_BUDGET_S = 10.0  # cap on how long the reference may be timed per size
+
+
+class CorrelatedStream:
+    """Adjacent-frame key chunks with periodic scene changes."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._base = self._rng.normal(size=(CHUNK, HEAD_DIM))
+        self._emitted = 0
+
+    def next_chunk(self) -> np.ndarray:
+        if self._emitted and self._emitted % SCENE_EVERY == 0:
+            self._base = self._rng.normal(size=(CHUNK, HEAD_DIM))
+        self._emitted += CHUNK
+        return self._base + 0.05 * self._rng.normal(size=self._base.shape)
+
+
+def fill_engine(num_tokens: int, encoder: HashBitEncoder, config: ReSVConfig):
+    """Stream ``num_tokens`` correlated tokens into a fresh engine table."""
+    table = HashClusterTable(HEAD_DIM, N_BITS, config.hamming_threshold)
+    stream = CorrelatedStream(seed=1)
+    position = 0
+    start = time.perf_counter()
+    while position < num_tokens:
+        keys = stream.next_chunk()
+        table.update(keys, encoder.encode(keys), np.arange(position, position + CHUNK))
+        position += CHUNK
+    fill_seconds = time.perf_counter() - start
+    return table, stream, position, fill_seconds
+
+
+def clone_into_reference(table: HashClusterTable):
+    """Materialise the engine state as a seed-style reference table."""
+    from tests.core.test_equivalence import ReferenceTable, _ReferenceCluster
+
+    reference = ReferenceTable(HEAD_DIM, N_BITS, table.hamming_threshold)
+    for entry in table.clusters:
+        clone = _ReferenceCluster(
+            entry.cluster_index,
+            entry.token_indices[0],
+            entry.key_sum.astype(np.float64),
+            np.zeros(N_BITS, dtype=np.int64),
+        )
+        clone.token_indices = list(entry.token_indices)
+        clone.key_sum = entry.key_sum.copy()
+        clone.bit_votes = entry.bit_votes.copy()
+        reference.clusters.append(clone)
+    reference.num_tokens = table.num_tokens
+    return reference
+
+
+def time_updates(table, encoder, stream, position, budget_s=float("inf")):
+    """Steady-state update throughput (tokens/sec)."""
+    timed_tokens = 0
+    start = time.perf_counter()
+    while timed_tokens < MEASURE_TOKENS:
+        keys = stream.next_chunk()
+        table.update(keys, encoder.encode(keys), np.arange(position, position + CHUNK))
+        position += CHUNK
+        timed_tokens += CHUNK
+        if time.perf_counter() - start > budget_s:
+            break
+    elapsed = time.perf_counter() - start
+    return timed_tokens / elapsed, position
+
+
+def time_select(table, config, rng):
+    """Throughput of one select pass (scored clusters/sec) and its latency."""
+    queries = rng.normal(size=(SELECT_QUERIES, HEAD_DIM))
+    start = time.perf_counter()
+    rounds = 0
+    while True:
+        raw = queries @ table.key_clusters().T
+        scores = importance_scores(raw, HEAD_DIM)
+        result = wicsum_select(scores, table.token_counts(), config.wicsum_ratio)
+        selected = table.tokens_of(result.selected_clusters)
+        rounds += 1
+        if time.perf_counter() - start > 0.2:
+            break
+    elapsed = time.perf_counter() - start
+    del selected
+    return rounds / elapsed
+
+
+def run(cache_sizes=(1_000, 10_000, 20_000, 40_000), measure_reference=True) -> dict:
+    config = ReSVConfig(hamming_threshold=7, wicsum_ratio=0.3)
+    encoder = HashBitEncoder(HEAD_DIM, N_BITS, seed=0)
+    rng = np.random.default_rng(7)
+    results = {"config": {"head_dim": HEAD_DIM, "n_bits": N_BITS, "chunk": CHUNK}, "sizes": []}
+    for num_tokens in cache_sizes:
+        table, stream, position, fill_seconds = fill_engine(num_tokens, encoder, config)
+        row = {
+            "cache_tokens": num_tokens,
+            "num_clusters": table.num_clusters,
+            "engine_fill_tokens_per_s": num_tokens / fill_seconds,
+        }
+        engine_tps, position = time_updates(table, encoder, stream, position)
+        row["engine_update_tokens_per_s"] = engine_tps
+        row["engine_select_rounds_per_s"] = time_select(table, config, rng)
+
+        if measure_reference:
+            reference = clone_into_reference(table)
+            reference_tps, _ = time_updates(
+                reference, encoder, stream, position, budget_s=REFERENCE_BUDGET_S
+            )
+            row["reference_update_tokens_per_s"] = reference_tps
+            row["update_speedup"] = engine_tps / reference_tps if reference_tps else float("inf")
+        results["sizes"].append(row)
+        print(
+            f"cache {num_tokens:>6d} tokens / {row['num_clusters']:>5d} clusters: "
+            f"engine {engine_tps:,.0f} tok/s"
+            + (
+                f", reference {row['reference_update_tokens_per_s']:,.0f} tok/s "
+                f"({row['update_speedup']:.1f}x)"
+                if measure_reference
+                else ""
+            )
+        )
+    return results
+
+
+def main() -> None:
+    output = REPO_ROOT / "BENCH_clustering.json"
+    results = run()
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

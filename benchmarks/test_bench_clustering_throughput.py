@@ -1,0 +1,37 @@
+"""Benchmark: HC-table engine throughput (update + select) across cache sizes.
+
+The ISSUE acceptance bar is >= 10x over the seed implementation at a
+20k-token cache; ``benchmarks/bench_clustering.py`` records the full
+engine-vs-reference numbers into ``BENCH_clustering.json``, while this
+pytest-benchmark wrapper tracks the engine's wall-clock across runs and
+asserts the speedup floor at the 20k point.
+"""
+
+import pytest
+
+from bench_clustering import run
+
+
+@pytest.mark.parametrize("cache_tokens", [1_000, 10_000, 40_000])
+def test_bench_clustering_engine_throughput(benchmark, cache_tokens):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"cache_sizes": (cache_tokens,), "measure_reference": False},
+        rounds=1,
+        iterations=1,
+    )
+    row = result["sizes"][0]
+    assert row["engine_update_tokens_per_s"] > 1_000
+    assert row["engine_select_rounds_per_s"] > 0
+
+
+def test_bench_clustering_speedup_vs_seed(benchmark):
+    """Engine must beat the seed reference by >= 10x at a 20k-token cache."""
+    result = benchmark.pedantic(
+        run,
+        kwargs={"cache_sizes": (20_000,), "measure_reference": True},
+        rounds=1,
+        iterations=1,
+    )
+    row = result["sizes"][0]
+    assert row["update_speedup"] >= 10.0

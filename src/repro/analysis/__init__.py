@@ -16,19 +16,23 @@ from repro.analysis.metrics import (
     speedup_range,
 )
 from repro.analysis.reporting import format_breakdown, format_series, format_table
+from repro.analysis.sessions import batch_summary, format_session_table, retrieval_ratio_spread
 
 __all__ = [
     "REAL_TIME_FPS",
     "StageBreakdown",
+    "batch_summary",
     "efficiency_gain",
     "format_breakdown",
     "format_series",
+    "format_session_table",
     "format_table",
     "fps_from_latency_ms",
     "geometric_mean",
     "is_real_time",
     "pearson_correlation",
     "retrieval_overhead_fractions",
+    "retrieval_ratio_spread",
     "scenario_breakdowns",
     "speedup",
     "speedup_range",

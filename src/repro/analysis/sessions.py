@@ -1,0 +1,86 @@
+"""Aggregation and reporting over multi-stream serving sessions.
+
+These helpers consume the per-stream :class:`repro.model.serving.SessionReport`
+rows a :class:`repro.model.serving.SessionBatch` produces and turn them into
+the quantities the experiments report: fleet-wide retrieval ratios, WiCSum
+sort fractions and HC-table occupancy — the statistics that used to live
+only on a single retriever's ``last_*`` attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+
+
+def batch_summary(reports) -> dict[str, float]:
+    """Fleet-wide aggregates over a batch's per-stream reports.
+
+    Ratios are averaged per stream (every user counts equally, regardless
+    of how long their video was); byte and token totals are summed.
+    """
+    reports = list(reports)
+    if not reports:
+        return {
+            "num_sessions": 0,
+            "total_cache_tokens": 0,
+            "total_cache_bytes": 0,
+            "total_table_bytes": 0,
+            "mean_frame_retrieval_ratio": 1.0,
+            "mean_generation_retrieval_ratio": 1.0,
+            "mean_sort_fraction": 0.0,
+            "mean_tokens_per_cluster": 0.0,
+        }
+    return {
+        "num_sessions": len(reports),
+        "total_cache_tokens": int(sum(r.cache_tokens for r in reports)),
+        "total_cache_bytes": int(sum(r.cache_bytes for r in reports)),
+        "total_table_bytes": int(sum(r.table_bytes for r in reports)),
+        "mean_frame_retrieval_ratio": float(
+            np.mean([r.frame_retrieval_ratio for r in reports])
+        ),
+        "mean_generation_retrieval_ratio": float(
+            np.mean([r.generation_retrieval_ratio for r in reports])
+        ),
+        "mean_sort_fraction": float(np.mean([r.sort_fraction for r in reports])),
+        "mean_tokens_per_cluster": float(
+            np.mean([r.mean_tokens_per_cluster for r in reports])
+        ),
+    }
+
+
+def retrieval_ratio_spread(reports) -> tuple[float, float]:
+    """(min, max) frame-stage retrieval ratio across streams."""
+    ratios = [r.frame_retrieval_ratio for r in reports]
+    if not ratios:
+        return (1.0, 1.0)
+    return (float(min(ratios)), float(max(ratios)))
+
+
+def format_session_table(reports, title: str | None = None) -> str:
+    """Fixed-width per-stream report table for example/experiment output."""
+    headers = [
+        "stream",
+        "frames",
+        "tokens",
+        "cache KiB",
+        "frame ratio",
+        "gen ratio",
+        "sort frac",
+        "tok/cluster",
+    ]
+    rows = [
+        [
+            r.session_id,
+            r.frames_processed,
+            r.cache_tokens,
+            r.cache_bytes / 1024.0,
+            r.frame_retrieval_ratio,
+            r.generation_retrieval_ratio,
+            r.sort_fraction,
+            r.mean_tokens_per_cluster,
+        ]
+        for r in reports
+    ]
+    return format_table(headers, rows, title=title)

@@ -19,7 +19,8 @@ from repro.core.hashbit import (
     pairwise_hamming,
     unpack_bits,
 )
-from repro.core.resv import ReSVRetriever
+from repro.core.hashbit import pack_bits_u64, packed_hamming, unpack_bits_u64, words_for_bits
+from repro.core.resv import ReSVRetriever, RetrievalEngineStats, TableOccupancy
 from repro.core.retrieval_base import (
     FRAME_STAGE,
     GENERATION_STAGE,
@@ -43,14 +44,20 @@ __all__ = [
     "HashClusterTable",
     "KVRetriever",
     "ReSVRetriever",
+    "RetrievalEngineStats",
     "Selection",
+    "TableOccupancy",
     "WiCSumResult",
     "cosine_similarity_matrix",
     "hamming_distance",
     "importance_scores",
     "pack_bits",
+    "pack_bits_u64",
+    "packed_hamming",
     "pairwise_hamming",
     "unpack_bits",
+    "unpack_bits_u64",
+    "words_for_bits",
     "wicsum_select",
     "wicsum_select_early_exit",
 ]

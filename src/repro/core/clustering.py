@@ -10,6 +10,21 @@ Paper Sec. IV-B: tokens whose hash-bit signatures differ by fewer than
 
 which is exactly the HC-table layout in Fig. 8/10.  The table is maintained
 per decoder layer and per KV head.
+
+Storage layout
+--------------
+The table is array-backed (struct-of-arrays): per-cluster key sums, bit
+votes, token counts and packed ``uint64`` representative signatures live in
+preallocated arrays that grow geometrically, and a direct-indexed
+token→cluster map gives O(1) membership lookups.  Distances are computed as
+batched XOR + popcount over the packed signatures — the same 64-bit
+datapath the HCU hardware unit implements — so the per-token work is a
+single vectorized operation over all clusters instead of a Python loop.
+
+Clustering is *order dependent* by construction (each insertion can move a
+cluster's majority-vote signature before the next token is matched), so
+chunk updates process tokens in arrival order; all O(clusters) inner work
+is vectorized.
 """
 
 from __future__ import annotations
@@ -18,12 +33,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.hashbit import hamming_distance
+from repro.core.hashbit import pack_bits_u64, packed_hamming, unpack_bits_u64, words_for_bits
+
+_MIN_CAPACITY = 16
 
 
 @dataclass
 class ClusterEntry:
-    """One row of the HC table."""
+    """One row of the HC table (materialised view, kept for introspection)."""
 
     cluster_index: int
     token_indices: list[int] = field(default_factory=list)
@@ -45,6 +62,13 @@ class ClusterEntry:
         return self.bit_votes * 2 >= self.token_count
 
 
+def _grow(array: np.ndarray, new_capacity: int) -> np.ndarray:
+    """Return ``array`` grown along axis 0 to ``new_capacity`` rows."""
+    grown = np.zeros((new_capacity,) + array.shape[1:], dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
 class HashClusterTable:
     """HC table for one (layer, KV-head) pair."""
 
@@ -56,22 +80,90 @@ class HashClusterTable:
         self.head_dim = head_dim
         self.n_bits = n_bits
         self.hamming_threshold = hamming_threshold
-        self.clusters: list[ClusterEntry] = []
+        self._n_words = words_for_bits(n_bits)
+        self._num_clusters = 0
         self._num_tokens = 0
+        # Struct-of-arrays cluster state, rows [0:_num_clusters] are live.
+        self._key_sums = np.zeros((0, head_dim), dtype=np.float64)
+        self._bit_votes = np.zeros((0, n_bits), dtype=np.int64)
+        self._counts = np.zeros((0,), dtype=np.int64)
+        self._signatures = np.zeros((0, self._n_words), dtype=np.uint64)
+        # Per-token state in insertion order, rows [0:_num_tokens] are live.
+        self._token_ids = np.zeros((0,), dtype=np.int64)
+        self._assignments = np.zeros((0,), dtype=np.int64)
+        # Direct-indexed token-id → cluster map (-1 for unknown ids).
+        self._id_to_cluster = np.full((0,), -1, dtype=np.int64)
 
     def __len__(self) -> int:
-        return len(self.clusters)
+        return self._num_clusters
 
     @property
     def num_clusters(self) -> int:
-        return len(self.clusters)
+        return self._num_clusters
 
     @property
     def num_tokens(self) -> int:
         return self._num_tokens
 
+    @property
+    def clusters(self) -> list[ClusterEntry]:
+        """Materialised per-cluster rows (introspection/tests only)."""
+        k = self._num_clusters
+        members: list[list[int]] = [[] for _ in range(k)]
+        for token_id, cluster in zip(
+            self._token_ids[: self._num_tokens], self._assignments[: self._num_tokens]
+        ):
+            members[cluster].append(int(token_id))
+        return [
+            ClusterEntry(
+                cluster_index=index,
+                token_indices=members[index],
+                key_sum=self._key_sums[index].copy(),
+                bit_votes=self._bit_votes[index].copy(),
+            )
+            for index in range(k)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # capacity management
+    # ------------------------------------------------------------------ #
+    def _ensure_cluster_capacity(self, extra: int) -> None:
+        needed = self._num_clusters + extra
+        capacity = self._counts.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, max(_MIN_CAPACITY, capacity * 2))
+        self._key_sums = _grow(self._key_sums, new_capacity)
+        self._bit_votes = _grow(self._bit_votes, new_capacity)
+        self._counts = _grow(self._counts, new_capacity)
+        self._signatures = _grow(self._signatures, new_capacity)
+
+    def _ensure_token_capacity(self, extra: int) -> None:
+        needed = self._num_tokens + extra
+        capacity = self._token_ids.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, max(_MIN_CAPACITY, capacity * 2))
+        self._token_ids = _grow(self._token_ids, new_capacity)
+        self._assignments = _grow(self._assignments, new_capacity)
+
+    def _ensure_id_map(self, max_id: int) -> None:
+        if max_id < self._id_to_cluster.shape[0]:
+            return
+        new_size = max(max_id + 1, max(_MIN_CAPACITY, self._id_to_cluster.shape[0] * 2))
+        grown = np.full((new_size,), -1, dtype=np.int64)
+        grown[: self._id_to_cluster.shape[0]] = self._id_to_cluster
+        self._id_to_cluster = grown
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
     def update(
-        self, keys: np.ndarray, hash_bits: np.ndarray, token_indices: np.ndarray
+        self,
+        keys: np.ndarray,
+        hash_bits: np.ndarray,
+        token_indices: np.ndarray,
+        packed_bits: np.ndarray | None = None,
     ) -> np.ndarray:
         """Insert new tokens, clustering them against existing representatives.
 
@@ -82,7 +174,11 @@ class HashClusterTable:
         hash_bits:
             Their signatures, shape ``(new_tokens, n_bits)``.
         token_indices:
-            Global token indices in the layer's KV cache.
+            Global token indices in the layer's KV cache (non-negative).
+        packed_bits:
+            Optional pre-packed ``uint64`` signatures (``pack_bits_u64`` of
+            ``hash_bits``); callers that share signatures across tables can
+            pack once and pass them to every head.
 
         Returns
         -------
@@ -101,70 +197,123 @@ class HashClusterTable:
             )
         if token_indices.shape[0] != keys.shape[0]:
             raise ValueError("token_indices length must match the number of new keys")
+        n = keys.shape[0]
+        if n == 0:
+            return np.zeros((0,), dtype=np.int64)
+        if int(token_indices.min()) < 0:
+            raise ValueError("token_indices must be non-negative")
+        if packed_bits is None:
+            packed_bits = pack_bits_u64(hash_bits)
+        else:
+            packed_bits = np.asarray(packed_bits, dtype=np.uint64)
+            if packed_bits.shape != (n, self._n_words):
+                raise ValueError("packed_bits shape does not match hash_bits")
 
-        assignments = np.empty(keys.shape[0], dtype=np.int64)
-        for i in range(keys.shape[0]):
-            assignments[i] = self._insert(keys[i], hash_bits[i], int(token_indices[i]))
-        self._num_tokens += keys.shape[0]
+        if self.hamming_threshold < 0:
+            assignments = self._append_singletons(keys, hash_bits, packed_bits)
+        else:
+            assignments = self._insert_sequential(keys, hash_bits, packed_bits)
+
+        self._ensure_token_capacity(n)
+        start = self._num_tokens
+        self._token_ids[start : start + n] = token_indices
+        self._assignments[start : start + n] = assignments
+        self._num_tokens += n
+        self._ensure_id_map(int(token_indices.max()))
+        self._id_to_cluster[token_indices] = assignments
         return assignments
 
-    def _insert(self, key: np.ndarray, bits: np.ndarray, token_index: int) -> int:
-        best_cluster = -1
-        best_distance = self.n_bits + 1
-        for entry in self.clusters:
-            distance = int(hamming_distance(bits, entry.hash_bits))
-            if distance < best_distance:
-                best_distance = distance
-                best_cluster = entry.cluster_index
-        if best_cluster >= 0 and best_distance <= self.hamming_threshold:
-            entry = self.clusters[best_cluster]
-            entry.token_indices.append(token_index)
-            entry.key_sum = entry.key_sum + key
-            entry.bit_votes = entry.bit_votes + bits.astype(np.int64)
-            return best_cluster
-        new_entry = ClusterEntry(
-            cluster_index=len(self.clusters),
-            token_indices=[token_index],
-            key_sum=key.copy(),
-            bit_votes=bits.astype(np.int64),
-        )
-        self.clusters.append(new_entry)
-        return new_entry.cluster_index
+    def _append_singletons(
+        self, keys: np.ndarray, hash_bits: np.ndarray, packed_bits: np.ndarray
+    ) -> np.ndarray:
+        """Clustering disabled: every token becomes its own cluster (batched)."""
+        n = keys.shape[0]
+        self._ensure_cluster_capacity(n)
+        start = self._num_clusters
+        end = start + n
+        self._key_sums[start:end] = keys
+        self._bit_votes[start:end] = hash_bits
+        self._counts[start:end] = 1
+        self._signatures[start:end] = packed_bits
+        self._num_clusters = end
+        return np.arange(start, end, dtype=np.int64)
+
+    def _insert_sequential(
+        self, keys: np.ndarray, hash_bits: np.ndarray, packed_bits: np.ndarray
+    ) -> np.ndarray:
+        """Arrival-order insertion; all per-token work is vectorized."""
+        n = keys.shape[0]
+        assignments = np.empty(n, dtype=np.int64)
+        threshold = self.hamming_threshold
+        for i in range(n):
+            k = self._num_clusters
+            best = -1
+            if k:
+                distances = packed_hamming(self._signatures[:k], packed_bits[i])
+                best = int(np.argmin(distances))
+                if distances[best] > threshold:
+                    best = -1
+            if best >= 0:
+                self._counts[best] += 1
+                self._key_sums[best] += keys[i]
+                self._bit_votes[best] += hash_bits[i]
+                # Refresh the majority-vote representative signature.
+                majority = self._bit_votes[best] * 2 >= self._counts[best]
+                self._signatures[best] = pack_bits_u64(majority)
+                assignments[i] = best
+            else:
+                self._ensure_cluster_capacity(1)
+                new = self._num_clusters
+                self._key_sums[new] = keys[i]
+                self._bit_votes[new] = hash_bits[i]
+                self._counts[new] = 1
+                self._signatures[new] = packed_bits[i]
+                self._num_clusters = new + 1
+                assignments[i] = new
+        return assignments
 
     # ------------------------------------------------------------------ #
     # table views used by WiCSum thresholding and the KVMU memory mapping
     # ------------------------------------------------------------------ #
     def key_clusters(self) -> np.ndarray:
         """Representative keys, shape ``(num_clusters, head_dim)``."""
-        if not self.clusters:
-            return np.zeros((0, self.head_dim), dtype=np.float64)
-        return np.stack([entry.key_cluster for entry in self.clusters], axis=0)
+        k = self._num_clusters
+        return self._key_sums[:k] / np.maximum(self._counts[:k, None], 1)
 
     def token_counts(self) -> np.ndarray:
         """Member counts per cluster."""
-        return np.asarray([entry.token_count for entry in self.clusters], dtype=np.int64)
+        return self._counts[: self._num_clusters].copy()
 
     def cluster_hash_bits(self) -> np.ndarray:
         """Representative signatures, shape ``(num_clusters, n_bits)``."""
-        if not self.clusters:
-            return np.zeros((0, self.n_bits), dtype=bool)
-        return np.stack([entry.hash_bits for entry in self.clusters], axis=0)
+        k = self._num_clusters
+        return unpack_bits_u64(self._signatures[:k], self.n_bits)
+
+    def packed_signatures(self) -> np.ndarray:
+        """Packed uint64 representative signatures, shape ``(num_clusters, words)``."""
+        return self._signatures[: self._num_clusters]
+
+    def assignments(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(token_ids, cluster_index)`` pairs in insertion order."""
+        n = self._num_tokens
+        return self._token_ids[:n], self._assignments[:n]
 
     def tokens_of(self, cluster_indices) -> np.ndarray:
         """All member token indices of the given clusters (sorted, unique)."""
-        tokens: list[int] = []
-        for cluster_index in np.asarray(cluster_indices, dtype=np.int64):
-            tokens.extend(self.clusters[int(cluster_index)].token_indices)
-        if not tokens:
+        cluster_indices = np.asarray(cluster_indices, dtype=np.int64)
+        n = self._num_tokens
+        if n == 0 or cluster_indices.size == 0:
             return np.zeros((0,), dtype=np.int64)
-        return np.unique(np.asarray(tokens, dtype=np.int64))
+        wanted = np.zeros(self._num_clusters, dtype=bool)
+        wanted[cluster_indices] = True
+        member = self._token_ids[:n][wanted[self._assignments[:n]]]
+        return np.unique(member)
 
     def cluster_of_token(self, token_index: int) -> int:
         """Return the cluster index that owns ``token_index`` (or -1)."""
-        for entry in self.clusters:
-            if token_index in entry.token_indices:
-                return entry.cluster_index
-        return -1
+        if token_index < 0 or token_index >= self._id_to_cluster.shape[0]:
+            return -1
+        return int(self._id_to_cluster[token_index])
 
     def memory_overhead_bytes(self, key_bytes: int = 2) -> int:
         """Approximate HC-table storage: representative keys, signatures, counts, indices.
@@ -172,7 +321,7 @@ class HashClusterTable:
         Used to verify the paper's claim that the table occupies roughly
         1.67 % of the full KV cache at an average of 32 tokens per cluster.
         """
-        n = self.num_clusters
+        n = self._num_clusters
         rep_keys = n * self.head_dim * key_bytes
         signatures = n * ((self.n_bits + 7) // 8)
         counts = n * 4
@@ -181,6 +330,6 @@ class HashClusterTable:
 
     def mean_tokens_per_cluster(self) -> float:
         """Average cluster occupancy."""
-        if not self.clusters:
+        if not self._num_clusters:
             return 0.0
-        return self._num_tokens / self.num_clusters
+        return self._num_tokens / self._num_clusters

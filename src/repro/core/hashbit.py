@@ -82,6 +82,63 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     return np.packbits(bits, axis=-1)
 
 
+def words_for_bits(n_bits: int) -> int:
+    """Number of uint64 words needed to store an ``n_bits`` signature."""
+    return (n_bits + 63) // 64
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0: native popcount
+    _popcount_u64 = np.bitwise_count
+else:  # numpy 1.x fallback: byte-wise table lookup
+
+    _POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+    def _popcount_u64(words: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(words)[..., None].view(np.uint8)
+        return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.uint64)
+
+
+def pack_bits_u64(bits: np.ndarray) -> np.ndarray:
+    """Pack boolean signatures into uint64 words.
+
+    ``bits`` has shape ``(..., n_bits)``; the result has shape
+    ``(..., words_for_bits(n_bits))``.  This is the storage layout the
+    vectorized HC-table engine keeps signatures in: one XOR + popcount per
+    word replaces an ``n_bits``-wide boolean compare, mirroring the 64-bit
+    datapath of the HCU hardware unit.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    n_bits = bits.shape[-1]
+    pad = (-n_bits) % 64
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=bool)], axis=-1
+        )
+    packed8 = np.packbits(bits, axis=-1, bitorder="little")
+    return packed8.view(np.uint64).reshape(bits.shape[:-1] + (words_for_bits(n_bits),))
+
+
+def unpack_bits_u64(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_u64`, restoring an ``n_bits`` signature."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    as_bytes = packed.view(np.uint8).reshape(packed.shape[:-1] + (packed.shape[-1] * 8,))
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n_bits].astype(bool)
+
+
+def packed_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamming distance between packed uint64 signatures (XOR + popcount).
+
+    The word axis (last axis) is reduced; all leading axes broadcast, so
+    ``packed_hamming(table[None, :, :], new[:, None, :])`` yields the full
+    ``(new, clusters)`` distance matrix in one shot — the batched
+    XOR-and-popcount operation the HCU performs.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return _popcount_u64(a ^ b).sum(axis=-1, dtype=np.int64)
+
+
 def unpack_bits(packed: np.ndarray, n_bits: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`, restoring an ``n_bits``-wide signature."""
     unpacked = np.unpackbits(np.asarray(packed, dtype=np.uint8), axis=-1)

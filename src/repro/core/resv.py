@@ -15,6 +15,13 @@ ReSV combines two mechanisms (paper Sec. IV):
 
 The selected clusters are mapped back to token indices through the HC table
 and those tokens are the only past KV entries fetched for light attention.
+
+Each retriever instance owns the state of **one** stream; ``spawn()``
+creates additional per-session instances that share the (immutable) hash
+encoder, which is how a :class:`repro.model.serving.SessionBatch` runs many
+independent streams through one engine.  Selection statistics accumulate in
+a :class:`RetrievalEngineStats` per instance, which the performance plane
+(:mod:`repro.sim.pipeline`) and the analysis helpers consume.
 """
 
 from __future__ import annotations
@@ -25,10 +32,66 @@ import numpy as np
 
 from repro.config import ReSVConfig
 from repro.core.clustering import HashClusterTable
-from repro.core.hashbit import HashBitEncoder
+from repro.core.hashbit import HashBitEncoder, pack_bits_u64
 from repro.core.retrieval_base import KVRetriever, Selection
 from repro.core.wicsum import importance_scores, wicsum_select, wicsum_select_early_exit
 from repro.model.kvcache import LayerKVCache
+
+
+@dataclass
+class RetrievalEngineStats:
+    """Per-session selection statistics accumulated across ``select`` calls.
+
+    These replace the old single-stream ``last_*`` attributes: every stream
+    carries its own instance, so a multi-session batch can report sort
+    fraction, clusters considered and table occupancy per stream.
+    """
+
+    selects: int = 0
+    sorted_elements: int = 0
+    total_elements: int = 0
+    clusters_considered: int = 0
+    last_sort_fraction: float = 0.0
+    last_clusters_considered: int = 0
+
+    @property
+    def sort_fraction(self) -> float:
+        """Fraction of score elements sorted across the whole session."""
+        if self.total_elements == 0:
+            return 0.0
+        return self.sorted_elements / self.total_elements
+
+    def record_select(self, sorted_elements: int, total_elements: int, clusters: int) -> None:
+        self.selects += 1
+        self.sorted_elements += sorted_elements
+        self.total_elements += total_elements
+        self.clusters_considered += clusters
+        self.last_sort_fraction = sorted_elements / total_elements if total_elements else 0.0
+        self.last_clusters_considered = clusters
+
+    def reset(self) -> None:
+        self.selects = 0
+        self.sorted_elements = 0
+        self.total_elements = 0
+        self.clusters_considered = 0
+        self.last_sort_fraction = 0.0
+        self.last_clusters_considered = 0
+
+
+@dataclass
+class TableOccupancy:
+    """Aggregate HC-table occupancy across all layers and heads."""
+
+    num_tables: int = 0
+    num_clusters: int = 0
+    num_tokens: int = 0
+    table_bytes: int = 0
+
+    @property
+    def mean_tokens_per_cluster(self) -> float:
+        if self.num_clusters == 0:
+            return 0.0
+        return self.num_tokens / self.num_clusters
 
 
 @dataclass
@@ -51,6 +114,7 @@ class ReSVRetriever(KVRetriever):
         head_dim: int,
         config: ReSVConfig | None = None,
         use_early_exit: bool = False,
+        encoder: HashBitEncoder | None = None,
     ):
         super().__init__()
         self.num_layers = num_layers
@@ -58,15 +122,14 @@ class ReSVRetriever(KVRetriever):
         self.head_dim = head_dim
         self.config = config or ReSVConfig()
         self.use_early_exit = use_early_exit
-        self.encoder = HashBitEncoder(
+        # The encoder is stateless after construction and may be shared by
+        # every per-session retriever spawned from one engine.
+        self.encoder = encoder or HashBitEncoder(
             head_dim, self.config.n_hyperplanes, seed=self.config.seed
         )
+        self.stats = RetrievalEngineStats()
         self._layers: list[ReSVLayerState] = []
         self._init_state()
-        # Bookkeeping for the most recent select() call (used by tests and
-        # by the performance model to cost the KV-prediction step).
-        self.last_sort_fraction: float = 0.0
-        self.last_clusters_considered: int = 0
 
     def _init_state(self) -> None:
         self._layers = [
@@ -83,7 +146,30 @@ class ReSVRetriever(KVRetriever):
 
     def reset(self) -> None:
         super().reset()
+        self.stats.reset()
         self._init_state()
+
+    def spawn(self) -> "ReSVRetriever":
+        """Fresh per-session retriever sharing this engine's hash encoder."""
+        return ReSVRetriever(
+            self.num_layers,
+            self.num_kv_heads,
+            self.head_dim,
+            config=self.config,
+            use_early_exit=self.use_early_exit,
+            encoder=self.encoder,
+        )
+
+    # ------------------------------------------------------------------ #
+    # backward-compatible views of the per-session statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def last_sort_fraction(self) -> float:
+        return self.stats.last_sort_fraction
+
+    @property
+    def last_clusters_considered(self) -> int:
+        return self.stats.last_clusters_considered
 
     # ------------------------------------------------------------------ #
     # KVRetriever interface
@@ -92,24 +178,23 @@ class ReSVRetriever(KVRetriever):
         self, layer: int, keys: np.ndarray, positions: np.ndarray, frame_id: int
     ) -> None:
         """Cluster the new keys of one chunk into the layer's HC tables."""
-        del frame_id
+        del frame_id, positions
         keys = np.asarray(keys, dtype=np.float64)
         state = self._layers[layer]
         new_tokens = keys.shape[1]
         token_indices = np.arange(state.observed_tokens, state.observed_tokens + new_tokens)
-        if self.config.enable_clustering:
-            for kv_head in range(self.num_kv_heads):
-                hash_bits = self.encoder.encode(keys[kv_head])
-                state.tables[kv_head].update(keys[kv_head], hash_bits, token_indices)
-        else:
-            # Clustering disabled (ablation): every token is its own cluster.
-            for kv_head in range(self.num_kv_heads):
-                hash_bits = self.encoder.encode(keys[kv_head])
-                table = state.tables[kv_head]
+        # Encode and pack every KV head's signatures in one batched pass.
+        hash_bits = self.encoder.encode(keys)
+        packed = pack_bits_u64(hash_bits)
+        for kv_head in range(self.num_kv_heads):
+            table = state.tables[kv_head]
+            if not self.config.enable_clustering:
+                # Clustering disabled (ablation): every token is its own cluster.
                 table.hamming_threshold = -1
-                table.update(keys[kv_head], hash_bits, token_indices)
+            table.update(
+                keys[kv_head], hash_bits[kv_head], token_indices, packed_bits=packed[kv_head]
+            )
         state.observed_tokens += new_tokens
-        del positions
 
     def select(self, layer: int, queries: np.ndarray, cache: LayerKVCache) -> Selection:
         """Pick past tokens for light attention via WiCSum over cluster scores."""
@@ -129,46 +214,42 @@ class ReSVRetriever(KVRetriever):
         for kv_head in range(self.num_kv_heads):
             table = state.tables[kv_head]
             if table.num_clusters == 0:
-                per_head_indices.append(np.arange(cache_length, dtype=np.int64))
-                continue
-            group = queries[kv_head * group_size : (kv_head + 1) * group_size]
-            rows = group.reshape(-1, self.head_dim)
-            key_clusters = table.key_clusters()
-            raw_scores = rows @ key_clusters.T
-            scores = importance_scores(raw_scores, self.head_dim)
-            token_counts = table.token_counts()
-            if not self.config.enable_wicsum:
-                selected_clusters = np.arange(table.num_clusters, dtype=np.int64)
-            elif self.use_early_exit:
-                result = wicsum_select_early_exit(
-                    scores, token_counts, self.config.wicsum_ratio
-                )
-                selected_clusters = result.selected_clusters
-                sorted_elements += result.sorted_elements
-                total_elements += result.total_elements
+                # No signatures observed yet for this head: fall back to the
+                # full cache.  The recent-window union and cluster
+                # bookkeeping below still apply, keeping the fallback
+                # consistent with the normal path.
+                token_indices = np.arange(cache_length, dtype=np.int64)
             else:
-                result = wicsum_select(scores, token_counts, self.config.wicsum_ratio)
-                selected_clusters = result.selected_clusters
-                sorted_elements += result.sorted_elements
-                total_elements += result.total_elements
+                group = queries[kv_head * group_size : (kv_head + 1) * group_size]
+                rows = group.reshape(-1, self.head_dim)
+                raw_scores = rows @ table.key_clusters().T
+                scores = importance_scores(raw_scores, self.head_dim)
+                token_counts = table.token_counts()
+                if not self.config.enable_wicsum:
+                    selected_clusters = np.arange(table.num_clusters, dtype=np.int64)
+                else:
+                    select_fn = (
+                        wicsum_select_early_exit if self.use_early_exit else wicsum_select
+                    )
+                    result = select_fn(scores, token_counts, self.config.wicsum_ratio)
+                    selected_clusters = result.selected_clusters
+                    sorted_elements += result.sorted_elements
+                    total_elements += result.total_elements
 
-            clusters_considered += table.num_clusters
-            token_indices = table.tokens_of(selected_clusters)
-            # The HC table also contains the current chunk's tokens (they are
-            # clustered on arrival, before the chunk is appended to the
-            # cache); selection must only return tokens already resident in
-            # the offloaded cache.
-            token_indices = token_indices[token_indices < cache_length]
+                clusters_considered += table.num_clusters
+                token_indices = table.tokens_of(selected_clusters)
+                # The HC table also contains the current chunk's tokens (they
+                # are clustered on arrival, before the chunk is appended to
+                # the cache); selection must only return tokens already
+                # resident in the offloaded cache.
+                token_indices = token_indices[token_indices < cache_length]
             if self.config.recent_window > 0:
                 recent_start = max(0, cache_length - self.config.recent_window)
                 recent = np.arange(recent_start, cache_length, dtype=np.int64)
                 token_indices = np.union1d(token_indices, recent)
             per_head_indices.append(token_indices.astype(np.int64))
 
-        self.last_sort_fraction = (
-            sorted_elements / total_elements if total_elements else 0.0
-        )
-        self.last_clusters_considered = clusters_considered
+        self.stats.record_select(sorted_elements, total_elements, clusters_considered)
         return Selection(
             per_kv_head_indices=per_head_indices,
             num_clusters_considered=clusters_considered,
@@ -180,6 +261,17 @@ class ReSVRetriever(KVRetriever):
     def table(self, layer: int, kv_head: int) -> HashClusterTable:
         """Access a specific HC table (used by tests and the KVMU mapping)."""
         return self._layers[layer].tables[kv_head]
+
+    def occupancy(self) -> TableOccupancy:
+        """Aggregate table occupancy snapshot across all layers and heads."""
+        snapshot = TableOccupancy()
+        for state in self._layers:
+            for table in state.tables:
+                snapshot.num_tables += 1
+                snapshot.num_clusters += table.num_clusters
+                snapshot.num_tokens += table.num_tokens
+                snapshot.table_bytes += table.memory_overhead_bytes()
+        return snapshot
 
     def mean_tokens_per_cluster(self) -> float:
         """Average cluster occupancy across all layers and heads."""

@@ -18,6 +18,7 @@ e.g. InfiniGen only retrieves during generation.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -98,6 +99,18 @@ class KVRetriever(abc.ABC):
     def reset(self) -> None:
         """Drop any per-session state (cluster tables, counters)."""
         self.stage = FRAME_STAGE
+
+    def spawn(self) -> "KVRetriever":
+        """Fresh retriever with the same configuration but no session state.
+
+        Used by :class:`repro.model.serving.SessionBatch` to give every
+        stream its own retrieval state while sharing one engine.  The
+        default clones the instance and resets it; retrievers with heavy
+        shared components (e.g. ReSV's hash encoder) override this.
+        """
+        fresh = copy.deepcopy(self)
+        fresh.reset()
+        return fresh
 
 
 class FullRetriever(KVRetriever):

@@ -13,7 +13,9 @@ Two implementations are provided: a reference full-sort version and the
 bucketised *early-exit* version that mirrors the WTU hardware dataflow
 (Fig. 11).  Both must select the same clusters; the early-exit version
 additionally reports how much sorting work was skipped, which feeds the
-hardware latency model.
+hardware latency model.  Both are fully vectorized: every row of the score
+matrix is thresholded in one batched pass, with no per-row Python loops on
+the selection path.
 
 Implementation note (documented substitution): the raw ``Q · K_cluster^T``
 scores can be negative, which would make a weighted-sum threshold
@@ -56,6 +58,46 @@ class WiCSumResult:
         return self.sorted_elements / self.total_elements
 
 
+def _validate(scores: np.ndarray, token_counts: np.ndarray, threshold_ratio: float) -> None:
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D (rows, clusters)")
+    if token_counts.shape[0] != scores.shape[1]:
+        raise ValueError("token_counts length must match the number of clusters")
+    if not 0.0 < threshold_ratio <= 1.0:
+        raise ValueError("threshold_ratio must lie in (0, 1]")
+
+
+def _threshold_stops(scores: np.ndarray, weighted: np.ndarray, threshold_ratio: float):
+    """Shared batched core of both WiCSum variants.
+
+    Returns ``(order, stops, selected_mask)`` where ``order`` is the stable
+    descending score order per row, ``stops[row]`` is how many clusters the
+    accumulate-until-threshold walk visits, and ``selected_mask`` is a
+    boolean ``(rows, clusters)`` matrix of the kept clusters.
+    """
+    rows, clusters = scores.shape
+    order = np.argsort(-scores, axis=1, kind="stable")
+    cumulative = np.cumsum(np.take_along_axis(weighted, order, axis=1), axis=1)
+    thresholds = weighted.sum(axis=1) * threshold_ratio
+    # First rank whose accumulated weighted score strictly exceeds the
+    # threshold (paper Eq. 3 uses Acc(t) > Th_wics); that cluster is kept.
+    crossing = np.sum(cumulative <= thresholds[:, None], axis=1)
+    stops = np.minimum(crossing + 1, clusters)
+    # rank[row, c] = position of cluster c in the row's descending order.
+    rank = np.empty_like(order)
+    np.put_along_axis(rank, order, np.broadcast_to(np.arange(clusters), (rows, clusters)), axis=1)
+    selected_mask = rank < stops[:, None]
+    return order, stops, selected_mask
+
+
+def _fill_result(result: WiCSumResult, selected_mask: np.ndarray) -> WiCSumResult:
+    result.per_row_selected = [
+        np.nonzero(row)[0].astype(np.int64) for row in selected_mask
+    ]
+    result.selected_clusters = np.nonzero(selected_mask.any(axis=0))[0].astype(np.int64)
+    return result
+
+
 def wicsum_select(
     scores: np.ndarray, token_counts: np.ndarray, threshold_ratio: float
 ) -> WiCSumResult:
@@ -73,38 +115,18 @@ def wicsum_select(
     """
     scores = np.asarray(scores, dtype=np.float64)
     token_counts = np.asarray(token_counts, dtype=np.float64)
-    if scores.ndim != 2:
-        raise ValueError("scores must be 2-D (rows, clusters)")
-    if token_counts.shape[0] != scores.shape[1]:
-        raise ValueError("token_counts length must match the number of clusters")
-    if not 0.0 < threshold_ratio <= 1.0:
-        raise ValueError("threshold_ratio must lie in (0, 1]")
+    _validate(scores, token_counts, threshold_ratio)
 
     rows, clusters = scores.shape
     result = WiCSumResult(total_elements=rows * clusters)
     if clusters == 0:
-        result.selected_clusters = np.zeros(0, dtype=np.int64)
+        result.per_row_selected = [np.zeros(0, dtype=np.int64) for _ in range(rows)]
         return result
 
     weighted = scores * token_counts[None, :]
-    row_sums = weighted.sum(axis=1)
-    thresholds = row_sums * threshold_ratio
-
-    union: set[int] = set()
-    for row in range(rows):
-        order = np.argsort(-scores[row], kind="stable")
-        cumulative = np.cumsum(weighted[row, order])
-        # First index where the accumulated weighted score strictly exceeds
-        # the threshold (paper Eq. 3 uses Acc(t) > Th_wics).
-        crossing = np.searchsorted(cumulative, thresholds[row], side="right")
-        stop = min(int(crossing) + 1, clusters)
-        selected = np.sort(order[:stop])
-        result.per_row_selected.append(selected.astype(np.int64))
-        union.update(int(c) for c in selected)
-        result.sorted_elements += clusters  # full sort touches every element
-
-    result.selected_clusters = np.asarray(sorted(union), dtype=np.int64)
-    return result
+    _, _, selected_mask = _threshold_stops(scores, weighted, threshold_ratio)
+    result.sorted_elements = rows * clusters  # full sort touches every element
+    return _fill_result(result, selected_mask)
 
 
 def wicsum_select_early_exit(
@@ -122,57 +144,42 @@ def wicsum_select_early_exit(
     stops ("early exit") as soon as the threshold is crossed.  Because a
     small number of large scores typically dominates the weighted sum
     (~16 % of a row on average in the paper), most buckets are skipped.
+
+    The bucket walk visits elements in exactly the stable descending score
+    order (buckets are monotone in score, ties share a bucket), so the kept
+    clusters are identical to :func:`wicsum_select`; only the sorted-work
+    accounting differs — members of buckets below the one where the walk
+    stops are never sorted.
     """
     scores = np.asarray(scores, dtype=np.float64)
     token_counts = np.asarray(token_counts, dtype=np.float64)
-    if scores.ndim != 2:
-        raise ValueError("scores must be 2-D (rows, clusters)")
-    if token_counts.shape[0] != scores.shape[1]:
-        raise ValueError("token_counts length must match the number of clusters")
+    _validate(scores, token_counts, threshold_ratio)
     if num_buckets <= 0:
         raise ValueError("num_buckets must be positive")
 
     rows, clusters = scores.shape
     result = WiCSumResult(total_elements=rows * clusters)
     if clusters == 0:
+        result.per_row_selected = [np.zeros(0, dtype=np.int64) for _ in range(rows)]
         return result
 
     weighted = scores * token_counts[None, :]
-    union: set[int] = set()
-    for row in range(rows):
-        row_scores = scores[row]
-        row_weighted = weighted[row]
-        threshold = row_weighted.sum() * threshold_ratio
-        low, high = float(row_scores.min()), float(row_scores.max())
-        if high <= low:
-            # Degenerate row: every cluster scores identically — use a single
-            # bucket so the accumulate-until-threshold loop below still runs
-            # and stays consistent with the reference implementation.
-            high = low + 1.0
-        edges = np.linspace(low, high, num_buckets + 1)
-        # Bucket index per cluster; the top bucket is index num_buckets - 1.
-        bucket_of = np.clip(np.searchsorted(edges, row_scores, side="right") - 1, 0, num_buckets - 1)
-        accumulated = 0.0
-        selected_list: list[int] = []
-        done = False
-        for bucket in range(num_buckets - 1, -1, -1):
-            members = np.nonzero(bucket_of == bucket)[0]
-            if members.size == 0:
-                continue
-            # Only the members of visited buckets are ever sorted.
-            result.sorted_elements += int(members.size)
-            order = members[np.argsort(-row_scores[members], kind="stable")]
-            for cluster_index in order:
-                accumulated += row_weighted[cluster_index]
-                selected_list.append(int(cluster_index))
-                if accumulated > threshold:
-                    done = True
-                    break
-            if done:
-                break
-        selected = np.asarray(sorted(selected_list), dtype=np.int64)
-        result.per_row_selected.append(selected)
-        union.update(int(c) for c in selected)
+    order, stops, selected_mask = _threshold_stops(scores, weighted, threshold_ratio)
 
-    result.selected_clusters = np.asarray(sorted(union), dtype=np.int64)
-    return result
+    # Bucket index per element; degenerate rows (all scores equal) collapse
+    # into bucket 0, matching the single-bucket fallback of the sequential
+    # WTU walk.
+    low = scores.min(axis=1, keepdims=True)
+    span = np.maximum(scores.max(axis=1, keepdims=True) - low, 0.0)
+    span = np.where(span > 0.0, span, 1.0)
+    bucket_of = np.clip(
+        ((scores - low) / span * num_buckets).astype(np.int64), 0, num_buckets - 1
+    )
+    # The walk stops inside the bucket of the last element it takes; that
+    # bucket is sorted in full, buckets above it were fully visited, buckets
+    # below are skipped.
+    row_index = np.arange(rows)
+    last_taken = order[row_index, stops - 1]
+    stop_bucket = bucket_of[row_index, last_taken]
+    result.sorted_elements = int(np.sum(bucket_of >= stop_bucket[:, None]))
+    return _fill_result(result, selected_mask)

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.config import ReSVConfig
 from repro.core.baselines import make_infinigen_p, make_rekv
 from repro.core.resv import ReSVRetriever

@@ -21,8 +21,9 @@ from repro.model.attention import (
 )
 from repro.model.decoder import DecoderLayer, FeedForward, RMSNorm
 from repro.model.kvcache import KVCache, LayerKVCache
-from repro.model.llm import StreamingVideoLLM
+from repro.model.llm import LLMSessionState, StreamingVideoLLM
 from repro.model.rope import RotaryEmbedding, apply_rope
+from repro.model.serving import RetrievalSession, SessionBatch, SessionReport
 from repro.model.streaming import StreamingSession, StreamStats
 from repro.model.tokenizer import ToyTokenizer
 from repro.model.vision import MLPProjector, VisionTower
@@ -31,11 +32,15 @@ __all__ = [
     "DecoderLayer",
     "FeedForward",
     "KVCache",
+    "LLMSessionState",
     "LayerKVCache",
     "MLPProjector",
     "MultiHeadAttention",
     "RMSNorm",
+    "RetrievalSession",
     "RotaryEmbedding",
+    "SessionBatch",
+    "SessionReport",
     "StreamStats",
     "StreamingSession",
     "StreamingVideoLLM",

@@ -95,15 +95,37 @@ class StreamStats:
 
 
 class StreamingSession:
-    """Drives a :class:`StreamingVideoLLM` through a streaming workload."""
+    """Drives a :class:`StreamingVideoLLM` through a streaming workload.
 
-    def __init__(self, model: StreamingVideoLLM):
+    By default the session operates on the model's built-in single-stream
+    state (the original API).  Passing an explicit
+    :class:`repro.model.llm.LLMSessionState` binds the session to that
+    state instead, which is how :class:`repro.model.serving.SessionBatch`
+    runs many independent streams through one set of weights.
+    """
+
+    def __init__(self, model: StreamingVideoLLM, state=None):
         self.model = model
+        self.state = state if state is not None else model.default_state
         self.stats = StreamStats()
+
+    @property
+    def retriever(self):
+        """Retriever attached to this session's state (may be ``None``)."""
+        return self.state.retriever
+
+    @property
+    def cache_length(self) -> int:
+        """Tokens currently held in this session's KV cache."""
+        return len(self.state.cache)
+
+    def kv_cache_bytes(self) -> int:
+        """KV cache footprint of this session in model-precision bytes."""
+        return self.model.kv_cache_bytes(self.state)
 
     def _set_stage(self, stage: str) -> None:
         """Tell the attached retriever which stage we are in (if it cares)."""
-        retriever = self.model.retriever
+        retriever = self.state.retriever
         if retriever is not None and hasattr(retriever, "stage"):
             retriever.stage = stage
 
@@ -112,17 +134,17 @@ class StreamingSession:
         if frame_id is None:
             frame_id = self.stats.frames_processed
         self._set_stage(FRAME_STAGE)
-        hidden, layer_stats = self.model.prefill_frame(frame_embeddings, frame_id)
+        hidden, layer_stats = self.model.prefill_frame(frame_embeddings, frame_id, state=self.state)
         self.stats.frames_processed += 1
-        self.stats.add(FRAME_STAGE, layer_stats, self.model.cache_length, self.model.kv_cache_bytes())
+        self.stats.add(FRAME_STAGE, layer_stats, self.cache_length, self.kv_cache_bytes())
         return hidden
 
     def ask(self, question_embeddings: np.ndarray) -> np.ndarray:
         """Prefill question tokens; returns their final hidden states."""
         self._set_stage(FRAME_STAGE)
-        hidden, layer_stats = self.model.prefill_text(question_embeddings)
+        hidden, layer_stats = self.model.prefill_text(question_embeddings, state=self.state)
         self.stats.questions_asked += 1
-        self.stats.add(FRAME_STAGE, layer_stats, self.model.cache_length, self.model.kv_cache_bytes())
+        self.stats.add(FRAME_STAGE, layer_stats, self.cache_length, self.kv_cache_bytes())
         return hidden
 
     def generate(self, num_tokens: int, start_embedding: np.ndarray | None = None) -> np.ndarray:
@@ -141,10 +163,10 @@ class StreamingSession:
         current = np.asarray(start_embedding, dtype=np.float64)
         outputs = []
         for _ in range(num_tokens):
-            hidden, layer_stats = self.model.decode_step(current)
+            hidden, layer_stats = self.model.decode_step(current, state=self.state)
             self.stats.tokens_generated += 1
             self.stats.add(
-                GENERATION_STAGE, layer_stats, self.model.cache_length, self.model.kv_cache_bytes()
+                GENERATION_STAGE, layer_stats, self.cache_length, self.kv_cache_bytes()
             )
             outputs.append(hidden[0])
             logits = self.model.logits(hidden[-1:])

@@ -50,6 +50,53 @@ GPU_CLUSTERING_RATE = {"gpu_edge": 3.0e8, "gpu_server": 1.5e9}
 
 
 @dataclass
+class MeasuredRetrieval:
+    """Functional-plane measurements that calibrate the performance plane.
+
+    Defaults are the paper's published averages; a measured session (via
+    :meth:`from_session_report` or :meth:`from_retriever`) replaces them
+    with the stream's actual WiCSum sort fraction and cluster occupancy, so
+    per-session latency estimates track what that stream really did instead
+    of the single-stream ``last_*`` attributes the old API exposed.
+    """
+
+    sort_fraction: float = EARLY_EXIT_SORT_FRACTION
+    avg_tokens_per_cluster: float = float(AVG_TOKENS_PER_CLUSTER)
+
+    @classmethod
+    def from_session_report(cls, report) -> "MeasuredRetrieval":
+        """Build from a :class:`repro.model.serving.SessionReport`.
+
+        Published averages are used only where the session genuinely has no
+        data (no WiCSum scoring performed / no clusters formed); a measured
+        value of zero from real work is kept as-is.
+        """
+        has_sort_data = getattr(report, "wicsum_score_elements", 0) > 0
+        has_clusters = report.num_clusters > 0
+        return cls(
+            sort_fraction=report.sort_fraction if has_sort_data else EARLY_EXIT_SORT_FRACTION,
+            avg_tokens_per_cluster=report.mean_tokens_per_cluster
+            if has_clusters
+            else float(AVG_TOKENS_PER_CLUSTER),
+        )
+
+    @classmethod
+    def from_retriever(cls, retriever) -> "MeasuredRetrieval":
+        """Build from a live retriever exposing ``stats`` / ``occupancy()``."""
+        stats = getattr(retriever, "stats", None)
+        occupancy_fn = getattr(retriever, "occupancy", None)
+        has_sort_data = stats is not None and stats.total_elements > 0
+        occupancy = occupancy_fn() if occupancy_fn else None
+        has_clusters = occupancy is not None and occupancy.num_clusters > 0
+        return cls(
+            sort_fraction=stats.sort_fraction if has_sort_data else EARLY_EXIT_SORT_FRACTION,
+            avg_tokens_per_cluster=occupancy.mean_tokens_per_cluster
+            if has_clusters
+            else float(AVG_TOKENS_PER_CLUSTER),
+        )
+
+
+@dataclass
 class StepResult:
     """Latency and accounting of one pipeline step (one frame or one token)."""
 
@@ -109,12 +156,18 @@ class LatencyModel:
         llm: TransformerWorkload | None = None,
         vision: VisionWorkload | None = None,
         streaming: StreamingConfig | None = None,
+        measured: MeasuredRetrieval | None = None,
     ):
         self.llm = llm or default_llm_workload()
         self.vision = vision or default_vision_workload()
         self.streaming = streaming or StreamingConfig()
+        self.measured = measured or MeasuredRetrieval()
         self.energy = EnergyModel()
         self._devices: dict[str, object] = {}
+
+    def calibrate(self, measured: MeasuredRetrieval) -> None:
+        """Adopt functional-plane measurements (e.g. from a served session)."""
+        self.measured = measured
 
     # ------------------------------------------------------------------ #
     # device construction
@@ -164,6 +217,19 @@ class LatencyModel:
     def _selected_tokens(self, system: SystemConfig, kv_len: int, stage: str) -> int:
         return int(round(kv_len * system.policy.ratio(stage)))
 
+    def _avg_tokens_per_cluster(self, system: SystemConfig) -> float:
+        """Cluster occupancy for a system's retrieval policy.
+
+        An explicitly configured ``RetrievalPolicy.avg_tokens_per_cluster``
+        (occupancy sweeps, the clustering-disabled ablation's 1) always
+        wins; only policies left at the published default are calibrated by
+        the functional-plane measurement.
+        """
+        policy_avg = system.policy.avg_tokens_per_cluster
+        if policy_avg != AVG_TOKENS_PER_CLUSTER:
+            return float(policy_avg)
+        return self.measured.avg_tokens_per_cluster
+
     def _fetch(self, system: SystemConfig, kv_len: int, stage: str, batch: int):
         """Per-layer fetch bytes and time for the selected-but-offloaded tokens."""
         selected = self._selected_tokens(system, kv_len, stage)
@@ -181,7 +247,7 @@ class LatencyModel:
         from_ssd = system.device.offload_target == "ssd"
         if isinstance(device, VRexAccelerator):
             contiguous = (
-                system.policy.avg_tokens_per_cluster * self.llm.kv_bytes_per_token_per_layer()
+                self._avg_tokens_per_cluster(system) * self.llm.kv_bytes_per_token_per_layer()
                 if system.policy.cluster_mapping
                 else self.llm.kv_bytes_per_token_per_layer()
             )
@@ -211,7 +277,7 @@ class LatencyModel:
         device_class = system.device_class
 
         if policy.prediction == "resv":
-            num_clusters = max(kv_len // policy.avg_tokens_per_cluster, 1)
+            num_clusters = max(int(kv_len // self._avg_tokens_per_cluster(system)), 1)
             hashbit_flops = self.llm.resv_hashbit_flops(q_len, 32) * batch
             score_flops = self.llm.resv_score_flops(q_len, num_clusters) * batch
             clustering_bit_ops = (
@@ -230,7 +296,7 @@ class LatencyModel:
                     WTUWork(
                         rows=wicsum_rows,
                         clusters=num_clusters,
-                        sort_fraction=EARLY_EXIT_SORT_FRACTION,
+                        sort_fraction=self.measured.sort_fraction,
                     ),
                 )
                 return lxe_extra + dre_time, True

@@ -22,7 +22,7 @@ This is a documented substitution for the real COIN dataset (see DESIGN.md).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np

@@ -20,7 +20,6 @@ from repro.sim.systems import (
     server_systems,
     throughput_systems,
     vrex_kv_budget_bytes,
-    vrex_system,
 )
 from repro.sim.workload import TransformerWorkload, default_llm_workload, default_vision_workload
 from repro.hw.specs import AGX_ORIN, VREX8

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.video.coin import ALL_TASKS, CoinBenchmark, CoinBenchmarkConfig, CoinTask
+from repro.video.coin import ALL_TASKS, CoinBenchmarkConfig, CoinTask
 from repro.video.synthetic import (
     SyntheticVideoConfig,
     SyntheticVideoStream,
