@@ -1,0 +1,128 @@
+"""Multi-stream serving throughput and batched-plane evaluation speed.
+
+Measures two things and writes them to ``BENCH_serving.json``:
+
+* **functional plane** — frames/sec served through a ``SessionBatch`` of N
+  concurrent toy-model streams (each with its own spawned ReSV state), the
+  end-to-end cost of one serving tick including clustering and retrieval;
+* **performance plane** — batched frame-step evaluations/sec of
+  ``BatchLatencyModel`` for production-size fleets, in both contention and
+  perfect-batching modes (this is the inner loop of the serving sweeps, so
+  it has to stay cheap).
+
+Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` runs a seconds-scale subset with sanity assertions and skips
+the JSON write; CI uses it to keep the serving path exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.config import ReSVConfig, toy_model_config  # noqa: E402
+from repro.core import ReSVRetriever  # noqa: E402
+from repro.model.llm import StreamingVideoLLM  # noqa: E402
+from repro.model.serving import SessionBatch  # noqa: E402
+from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
+from repro.sim.systems import edge_systems  # noqa: E402
+from repro.sim.workload import default_llm_workload  # noqa: E402
+
+
+def serve_throughput(num_streams: int, num_frames: int, seed: int = 0) -> dict:
+    """Frames/sec through one SessionBatch serving ``num_streams`` streams."""
+    config = toy_model_config()
+    model = StreamingVideoLLM(config, seed=seed)
+    engine = ReSVRetriever(
+        config.num_layers,
+        config.num_kv_heads,
+        config.head_dim,
+        ReSVConfig(hamming_threshold=7, wicsum_ratio=0.3, recent_window=8),
+        use_early_exit=True,
+    )
+    batch = SessionBatch(model, retriever=engine, num_sessions=num_streams)
+    rng = np.random.default_rng(seed)
+    frames = [
+        rng.normal(size=(config.tokens_per_frame, config.hidden_dim))
+        for _ in range(num_frames)
+    ]
+    start = time.perf_counter()
+    for frame in frames:
+        batch.process_frames([frame] * num_streams)
+    elapsed = time.perf_counter() - start
+    total_frames = num_frames * num_streams
+    return {
+        "num_streams": num_streams,
+        "frames_per_stream": num_frames,
+        "frames_per_s": total_frames / elapsed,
+        "tick_ms": elapsed / num_frames * 1e3,
+    }
+
+
+def plane_eval_rate(fleet_size: int, repeats: int, kv_len: int = 40_000) -> dict:
+    """Batched frame-step evaluations/sec at a fleet size, both modes."""
+    system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=int(kv_len * (0.5 + 0.5 * index / max(fleet_size - 1, 1))))
+        for index in range(fleet_size)
+    ]
+    row = {"fleet_size": fleet_size, "kv_len": kv_len}
+    for label, contention in (("contention", True), ("batched", False)):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            step = plane.frame_step(system, profiles, contention=contention)
+        elapsed = time.perf_counter() - start
+        row[f"{label}_evals_per_s"] = repeats / elapsed
+        row[f"{label}_total_ms"] = step.total_ms
+    return row
+
+
+def run(smoke: bool = False) -> dict:
+    serving_sizes = [(2, 4)] if smoke else [(2, 12), (4, 12), (8, 12)]
+    plane_sizes = [(4, 50)] if smoke else [(4, 500), (16, 500), (48, 200)]
+    results: dict = {"functional": [], "plane": []}
+    for num_streams, num_frames in serving_sizes:
+        row = serve_throughput(num_streams, num_frames)
+        results["functional"].append(row)
+        print(
+            f"serving {row['num_streams']} streams: "
+            f"{row['frames_per_s']:,.1f} frames/s ({row['tick_ms']:.1f} ms/tick)"
+        )
+    for fleet_size, repeats in plane_sizes:
+        row = plane_eval_rate(fleet_size, repeats)
+        results["plane"].append(row)
+        print(
+            f"plane fleet {row['fleet_size']}: "
+            f"{row['contention_evals_per_s']:,.0f} contended evals/s, "
+            f"{row['batched_evals_per_s']:,.0f} batched evals/s"
+        )
+    if smoke:
+        assert all(row["frames_per_s"] > 0 for row in results["functional"])
+        assert all(row["contention_evals_per_s"] > 0 for row in results["plane"])
+        assert all(row["contention_total_ms"] > 0 for row in results["plane"])
+        print("smoke ok")
+    return results
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    results = run(smoke=smoke)
+    if not smoke:
+        output = REPO_ROOT / "BENCH_serving.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,12 @@ from repro.analysis.metrics import (
     speedup_range,
 )
 from repro.analysis.reporting import format_breakdown, format_series, format_table
-from repro.analysis.sessions import batch_summary, format_session_table, retrieval_ratio_spread
+from repro.analysis.sessions import (
+    batch_summary,
+    format_session_table,
+    format_stream_latency_table,
+    retrieval_ratio_spread,
+)
 
 __all__ = [
     "REAL_TIME_FPS",
@@ -26,6 +31,7 @@ __all__ = [
     "format_breakdown",
     "format_series",
     "format_session_table",
+    "format_stream_latency_table",
     "format_table",
     "fps_from_latency_ms",
     "geometric_mean",

@@ -8,6 +8,7 @@ regenerated with a single command (see DESIGN.md for the index).
 """
 
 from repro.experiments import (  # noqa: F401
+    batched_serving,
     fig04_motivation,
     fig07_similarity,
     fig13_latency_energy,
@@ -23,6 +24,7 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "batched_serving",
     "fig04_motivation",
     "fig07_similarity",
     "fig13_latency_energy",

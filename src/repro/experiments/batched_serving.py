@@ -1,0 +1,211 @@
+"""Batched serving sweep — contention between concurrent streams.
+
+The ROADMAP's "batched performance plane" unlock: instead of Fig. 15's
+single batch multiplier, this driver prices fleets of concurrent streams
+through :class:`repro.sim.batched.BatchLatencyModel` and sweeps the arrival
+pattern and fleet composition on the PCIe-bottlenecked edge systems:
+
+* **aligned vs staggered arrivals** — how much per-stream exposed KV-fetch
+  latency the shared PCIe link's FCFS queue adds when every stream's frame
+  lands at the same instant, and how much of it admission-controlled
+  staggering recovers;
+* **perfect batching bound** — the no-contention mode (identical to
+  ``LatencyModel`` at ``batch=N``) as the upper bound a clever scheduler
+  could approach;
+* **mixed cache sizes** — long-history streams pay more and queue longer;
+* **mixed retriever statistics** — streams whose measured occupancy is low
+  fetch at poor link efficiency and hold the link longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.sim.batched import (
+    BatchLatencyModel,
+    StreamProfile,
+    aligned_arrivals,
+    staggered_arrivals,
+)
+from repro.sim.pipeline import MeasuredRetrieval
+from repro.sim.systems import SystemConfig, edge_systems
+from repro.sim.workload import default_llm_workload
+
+DEFAULT_STREAM_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class BatchedServingResult:
+    """Sweep results for one system at one per-stream cache length."""
+
+    system: str
+    kv_len: int
+    stream_counts: tuple[int, ...]
+    #: num_streams -> mean per-stream exposed KV-fetch latency (ms).
+    aligned_exposed_fetch_ms: dict[int, float] = field(default_factory=dict)
+    staggered_exposed_fetch_ms: dict[int, float] = field(default_factory=dict)
+    #: num_streams -> fleet frame throughput (streams / s of makespan).
+    aligned_fps: dict[int, float] = field(default_factory=dict)
+    staggered_fps: dict[int, float] = field(default_factory=dict)
+    batched_fps: dict[int, float] = field(default_factory=dict)
+    #: per-stream rows of the heterogeneous scenarios at the largest fleet.
+    mixed_cache_rows: list[dict] = field(default_factory=list)
+    mixed_retriever_rows: list[dict] = field(default_factory=list)
+
+    def contention_penalty(self, num_streams: int) -> float:
+        """Aligned-vs-staggered exposed-fetch blow-up at a fleet size."""
+        staggered = self.staggered_exposed_fetch_ms[num_streams]
+        if staggered <= 0:
+            return 1.0
+        return self.aligned_exposed_fetch_ms[num_streams] / staggered
+
+
+def _mixed_cache_profiles(kv_len: int, num_streams: int) -> list[StreamProfile]:
+    """Aligned fleet whose cache lengths span 0.25x .. 1x the sweep length."""
+    return [
+        StreamProfile(
+            kv_len=int(kv_len * (0.25 + 0.75 * index / max(num_streams - 1, 1))),
+            session_id=index,
+        )
+        for index in range(num_streams)
+    ]
+
+
+def _mixed_retriever_profiles(kv_len: int, num_streams: int) -> list[StreamProfile]:
+    """Aligned fleet whose measured sort fractions / occupancies differ.
+
+    Stream 0 behaves like the published averages; later streams measured
+    progressively smaller cluster occupancy (worse link efficiency under
+    cluster-wise mapping) and larger sort fractions (more WTU work).
+    """
+    profiles = []
+    for index in range(num_streams):
+        fraction = index / max(num_streams - 1, 1)
+        profiles.append(
+            StreamProfile(
+                kv_len=kv_len,
+                measured=MeasuredRetrieval(
+                    sort_fraction=0.16 + 0.24 * fraction,
+                    avg_tokens_per_cluster=32.0 - 24.0 * fraction,
+                ),
+                session_id=index,
+            )
+        )
+    return profiles
+
+
+def run(
+    system: SystemConfig | None = None,
+    kv_len: int = 40_000,
+    stream_counts=DEFAULT_STREAM_COUNTS,
+) -> BatchedServingResult:
+    """Sweep fleet sizes and arrival patterns for one system."""
+    if system is None:
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    result = BatchedServingResult(
+        system=system.name, kv_len=kv_len, stream_counts=tuple(stream_counts)
+    )
+    solo_latency = plane.frame_step(system, [StreamProfile(kv_len=kv_len)]).streams[0].total_s
+    for count in stream_counts:
+        aligned = [
+            StreamProfile(kv_len=kv_len, arrival_offset_s=offset, session_id=index)
+            for index, offset in enumerate(aligned_arrivals(count))
+        ]
+        staggered = [
+            StreamProfile(kv_len=kv_len, arrival_offset_s=offset, session_id=index)
+            for index, offset in enumerate(staggered_arrivals(count, solo_latency))
+        ]
+        aligned_step = plane.frame_step(system, aligned)
+        staggered_step = plane.frame_step(system, staggered)
+        batched_step = plane.frame_step(system, aligned, contention=False)
+        result.aligned_exposed_fetch_ms[count] = aligned_step.mean_exposed_fetch_s * 1e3
+        result.staggered_exposed_fetch_ms[count] = staggered_step.mean_exposed_fetch_s * 1e3
+        result.aligned_fps[count] = aligned_step.fps
+        result.staggered_fps[count] = staggered_step.fps
+        result.batched_fps[count] = batched_step.fps
+
+    largest = max(stream_counts)
+    for rows, profiles in (
+        (result.mixed_cache_rows, _mixed_cache_profiles(kv_len, largest)),
+        (result.mixed_retriever_rows, _mixed_retriever_profiles(kv_len, largest)),
+    ):
+        step = plane.frame_step(system, profiles)
+        for stream in step.streams:
+            rows.append(
+                {
+                    "stream": stream.session_id,
+                    "kv_len": stream.kv_len,
+                    "latency_ms": stream.total_ms,
+                    "exposed_fetch_ms": stream.exposed_fetch_s * 1e3,
+                    "pcie_wait_ms": stream.pcie_wait_s * 1e3,
+                }
+            )
+    return result
+
+
+def main() -> dict[str, BatchedServingResult]:
+    """Print the sweep for the two edge systems the contention story needs."""
+    systems = edge_systems(default_llm_workload().model_bytes())
+    results: dict[str, BatchedServingResult] = {}
+    for name in ("V-Rex8", "AGX + FlexGen"):
+        result = run(system=systems[name])
+        results[name] = result
+        rows = []
+        for count in result.stream_counts:
+            rows.append(
+                [
+                    count,
+                    result.aligned_exposed_fetch_ms[count],
+                    result.staggered_exposed_fetch_ms[count],
+                    result.aligned_fps[count],
+                    result.staggered_fps[count],
+                    result.batched_fps[count],
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "streams",
+                    "aligned fetch ms",
+                    "staggered fetch ms",
+                    "aligned fps",
+                    "staggered fps",
+                    "batched fps",
+                ],
+                rows,
+                title=f"Batched serving — {name}, {result.kv_len // 1000}K cache/stream",
+            )
+        )
+        largest = max(result.stream_counts)
+        print(
+            f"  contention penalty at {largest} aligned streams: "
+            f"{result.contention_penalty(largest):.2f}x exposed fetch"
+        )
+        print(
+            format_table(
+                ["stream", "kv_len", "latency ms", "exposed fetch ms", "PCIe wait ms"],
+                [
+                    [r["stream"], r["kv_len"], r["latency_ms"], r["exposed_fetch_ms"], r["pcie_wait_ms"]]
+                    for r in result.mixed_cache_rows
+                ],
+                title=f"  mixed cache sizes ({largest} aligned streams)",
+            )
+        )
+        print(
+            format_table(
+                ["stream", "kv_len", "latency ms", "exposed fetch ms", "PCIe wait ms"],
+                [
+                    [r["stream"], r["kv_len"], r["latency_ms"], r["exposed_fetch_ms"], r["pcie_wait_ms"]]
+                    for r in result.mixed_retriever_rows
+                ],
+                title=f"  mixed retriever statistics ({largest} aligned streams)",
+            )
+        )
+        print()
+    return results
+
+
+if __name__ == "__main__":
+    main()

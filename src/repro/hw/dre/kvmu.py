@@ -51,19 +51,34 @@ class KVMUModel:
         per_token = min(work.mean_contiguous_bytes, 4096.0)
         return self.link.efficiency(per_token * 0.25)
 
+    def ssd_sequential_fraction(self) -> float:
+        """Share of an SSD read the current memory mapping keeps sequential."""
+        return 0.95 if self.cluster_mapping else 0.3
+
+    def pcie_time_s(self, work: KVFetchWork) -> float:
+        """PCIe stage of a fetch at this work's achievable link efficiency."""
+        if work.total_bytes <= 0:
+            return 0.0
+        return self.link.transfer_time_s(work.total_bytes, efficiency=self.link_efficiency(work))
+
+    def ssd_time_s(self, work: KVFetchWork) -> float:
+        """SSD read stage of a fetch (zero when the cache lives in CPU memory)."""
+        if work.total_bytes <= 0 or not work.from_ssd:
+            return 0.0
+        return self.ssd.read_time_s(
+            work.total_bytes, sequential_fraction=self.ssd_sequential_fraction()
+        )
+
     def fetch_time_s(self, work: KVFetchWork) -> float:
         """Seconds to complete the fetch (PCIe, plus SSD read if applicable)."""
         if work.total_bytes <= 0:
             return 0.0
-        efficiency = self.link_efficiency(work)
-        pcie_time = self.link.transfer_time_s(work.total_bytes, efficiency=efficiency)
+        pcie_time = self.pcie_time_s(work)
         if not work.from_ssd:
             return pcie_time
-        sequential = 0.95 if self.cluster_mapping else 0.3
-        ssd_time = self.ssd.read_time_s(work.total_bytes, sequential_fraction=sequential)
         # The SSD read and the PCIe transfer are pipelined; the slower stage
         # dominates.
-        return max(pcie_time, ssd_time)
+        return max(pcie_time, self.ssd_time_s(work))
 
     def offload_time_s(self, num_bytes: float) -> float:
         """Seconds to stream newly evicted KV entries out (write path).

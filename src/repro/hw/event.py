@@ -6,6 +6,12 @@ The paper's Fig. 17 shows DRAM bandwidth usage of concurrent operations
 intervals on named resources and can render a bandwidth-over-time trace or
 check overlap properties — enough to reproduce the figure and to unit-test
 the latency-hiding claims.
+
+:class:`ResourceQueue` complements the timeline with a single-server FCFS
+queue: the batched performance plane pushes concurrent streams' KV-fetch
+transfers and DRE prediction jobs through one, so aligned arrivals expose
+the queueing delay a shared PCIe link or DRE inflicts.  The same primitive
+is the substrate a future event-driven serving scheduler can build on.
 """
 
 from __future__ import annotations
@@ -13,6 +19,72 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class QueuedService:
+    """One serviced request of a :class:`ResourceQueue`."""
+
+    arrival_s: float
+    start_s: float
+    service_s: float
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay between arrival and service start."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def finish_s(self) -> float:
+        return self.start_s + self.service_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Total time in the system (wait + service)."""
+        return self.finish_s - self.arrival_s
+
+
+class ResourceQueue:
+    """A first-come-first-served single-server queue.
+
+    Requests must be enqueued in non-decreasing arrival order (the caller
+    sorts streams by arrival offset); each request holds the resource
+    exclusively for its service time.  Zero-service requests pass through
+    without occupying the server.
+    """
+
+    def __init__(self, name: str = "resource"):
+        self.name = name
+        self._free_at = 0.0
+        self.served: list[QueuedService] = []
+
+    @property
+    def free_at_s(self) -> float:
+        """Time at which the server next becomes idle."""
+        return self._free_at
+
+    def reset(self) -> None:
+        """Forget all served requests and free the server."""
+        self._free_at = 0.0
+        self.served = []
+
+    def enqueue(self, arrival_s: float, service_s: float) -> QueuedService:
+        """Admit one request; returns its scheduled service interval."""
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        if service_s == 0:
+            request = QueuedService(arrival_s, arrival_s, 0.0)
+            self.served.append(request)
+            return request
+        start = max(arrival_s, self._free_at)
+        request = QueuedService(arrival_s, start, service_s)
+        self._free_at = request.finish_s
+        self.served.append(request)
+        return request
+
+    def busy_s(self) -> float:
+        """Total service time the resource has delivered."""
+        return sum(request.service_s for request in self.served)
 
 
 @dataclass(frozen=True)

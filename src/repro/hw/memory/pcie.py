@@ -6,11 +6,18 @@ memory or SSD holding the offloaded cache (4 GB/s on the edge platform,
 32 GB/s on the server).  Irregular token-granular fetches underutilise the
 link; the KVMU's cluster-wise memory mapping restores near-peak utilisation
 by making fetches contiguous.
+
+When several streams share the link, their transfers serialize:
+:class:`PCIeLinkQueue` wraps a link in a FCFS queue so the batched
+performance plane (and a future serving scheduler) can expose the queueing
+delay concurrent aligned fetches suffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.hw.event import QueuedService, ResourceQueue
 
 
 @dataclass(frozen=True)
@@ -50,8 +57,12 @@ class PCIeLink:
         fraction = min(contiguous_bytes / cfg.saturating_transfer_bytes, 1.0)
         return cfg.min_efficiency + (cfg.max_efficiency - cfg.min_efficiency) * fraction
 
-    def transfer_time_s(self, num_bytes: float, efficiency: float | None = None) -> float:
-        """Seconds to move ``num_bytes`` across the link."""
+    def occupancy_s(self, num_bytes: float, efficiency: float | None = None) -> float:
+        """Bytes-on-the-wire time, excluding the fixed request latency.
+
+        Batched pricing uses this to merge many streams' transfers into one
+        link busy period that pays the request latency only once.
+        """
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
         if num_bytes == 0:
@@ -60,7 +71,14 @@ class PCIeLink:
         if not 0.0 < eff <= 1.0:
             raise ValueError("efficiency must lie in (0, 1]")
         bandwidth = self.config.bandwidth_gbps * 1e9 * eff
-        return self.config.latency_us * 1e-6 + num_bytes / bandwidth
+        return num_bytes / bandwidth
+
+    def transfer_time_s(self, num_bytes: float, efficiency: float | None = None) -> float:
+        """Seconds to move ``num_bytes`` across the link."""
+        occupancy = self.occupancy_s(num_bytes, efficiency)
+        if occupancy == 0.0:
+            return 0.0
+        return self.config.latency_us * 1e-6 + occupancy
 
     def power_w(self) -> float:
         """Link power under full load (paper: ~3 W per lane)."""
@@ -69,3 +87,23 @@ class PCIeLink:
     def energy_j(self, busy_seconds: float, load_fraction: float = 1.0) -> float:
         """Energy of the link being driven for ``busy_seconds``."""
         return self.power_w() * busy_seconds * load_fraction
+
+
+class PCIeLinkQueue(ResourceQueue):
+    """A shared PCIe link serving concurrent streams' transfers FCFS.
+
+    Each enqueued transfer holds the link for its full transfer time (the
+    DMA engine does not interleave descriptors of different streams), so
+    transfers that arrive while the link is busy wait — the queueing delay
+    the batched performance plane charges to aligned frame arrivals.
+    """
+
+    def __init__(self, link: PCIeLink):
+        super().__init__(name=link.config.name)
+        self.link = link
+
+    def enqueue_transfer(
+        self, arrival_s: float, num_bytes: float, efficiency: float | None = None
+    ) -> QueuedService:
+        """Admit a transfer of ``num_bytes`` at the given link efficiency."""
+        return self.enqueue(arrival_s, self.link.transfer_time_s(num_bytes, efficiency))

@@ -31,13 +31,11 @@ class SSDModel:
     def __init__(self, config: SSDConfig | None = None):
         self.config = config or SSDConfig()
 
-    def read_time_s(self, num_bytes: float, sequential_fraction: float = 1.0) -> float:
-        """Seconds to read ``num_bytes`` given a sequential-access fraction.
+    def read_occupancy_s(self, num_bytes: float, sequential_fraction: float = 1.0) -> float:
+        """Media time of a read, excluding the fixed access latency.
 
-        ``sequential_fraction`` is the share of requested bytes that can be
-        streamed sequentially (contiguously laid out); the KVMU's
-        cluster-wise memory mapping raises it, scattered token-granular
-        fetches lower it.
+        Batched pricing uses this to merge many streams' reads into one SSD
+        busy period that pays the access latency only once.
         """
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
@@ -48,11 +46,22 @@ class SSDModel:
         cfg = self.config
         seq_bytes = num_bytes * sequential_fraction
         rnd_bytes = num_bytes - seq_bytes
-        return (
-            cfg.read_latency_us * 1e-6
-            + seq_bytes / (cfg.sequential_read_gbps * 1e9)
-            + rnd_bytes / (cfg.random_read_gbps * 1e9)
+        return seq_bytes / (cfg.sequential_read_gbps * 1e9) + rnd_bytes / (
+            cfg.random_read_gbps * 1e9
         )
+
+    def read_time_s(self, num_bytes: float, sequential_fraction: float = 1.0) -> float:
+        """Seconds to read ``num_bytes`` given a sequential-access fraction.
+
+        ``sequential_fraction`` is the share of requested bytes that can be
+        streamed sequentially (contiguously laid out); the KVMU's
+        cluster-wise memory mapping raises it, scattered token-granular
+        fetches lower it.
+        """
+        occupancy = self.read_occupancy_s(num_bytes, sequential_fraction)
+        if occupancy == 0.0 and num_bytes == 0:
+            return 0.0
+        return self.config.read_latency_us * 1e-6 + occupancy
 
     def write_time_s(self, num_bytes: float) -> float:
         """Seconds to write ``num_bytes`` sequentially (streaming offload)."""

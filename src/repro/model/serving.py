@@ -201,9 +201,30 @@ class SessionBatch:
             for session, question in zip(self.sessions, questions)
         ]
 
-    def generate_all(self, num_tokens: int) -> list[np.ndarray]:
-        """Generate the same number of answer tokens for every stream."""
-        return [session.generate(num_tokens) for session in self.sessions]
+    def generate_all(
+        self, num_tokens: int | Sequence[int | None]
+    ) -> list[np.ndarray | None]:
+        """Generate answer tokens per stream.
+
+        A scalar generates the same number of tokens for every stream; a
+        sequence gives each stream its own count, with ``None`` (or 0)
+        skipping a stream the way ``ask_all`` does — a batch where only some
+        streams asked a question must not generate (or record stats for)
+        answer tokens on the idle ones.
+        """
+        if isinstance(num_tokens, (int, np.integer)):
+            counts: list[int | None] = [int(num_tokens)] * len(self.sessions)
+        else:
+            counts = list(num_tokens)
+            if len(counts) != len(self.sessions):
+                raise ValueError(
+                    f"expected one token count per session ({len(self.sessions)}), "
+                    f"got {len(counts)}"
+                )
+        return [
+            None if count is None else session.generate(int(count))
+            for session, count in zip(self.sessions, counts)
+        ]
 
     # ------------------------------------------------------------------ #
     # statistics

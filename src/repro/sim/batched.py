@@ -1,0 +1,811 @@
+"""Contention-aware batched performance plane.
+
+:class:`repro.sim.pipeline.LatencyModel` prices a batch as ``batch x`` one
+homogeneous stream: every stream shares one :class:`MeasuredRetrieval`, the
+policy's published retrieval ratio, and the shared PCIe link and DRE are
+assumed to merge all streams' demands into one perfectly-batched transfer.
+The serving deployment the paper targets is N *heterogeneous* users whose
+functional-plane sessions (:class:`repro.model.serving.SessionBatch`)
+measured different WiCSum sort fractions, cluster occupancies, cache
+lengths and retrieval ratios — and whose frame arrivals may collide on the
+shared link.
+
+:class:`BatchLatencyModel` consumes per-stream :class:`StreamProfile` rows
+(built from :class:`repro.model.serving.SessionReport` via
+:func:`profiles_from_reports`) and prices a serving step in two modes:
+
+* **batched / no contention** (``contention=False``) — per-stream demands
+  are aggregated at the kernel-cost level (weights read once, fixed
+  selection overheads and link/SSD latencies paid once) and priced exactly
+  like one batched step.  For N identical streams this reproduces
+  ``LatencyModel`` at ``batch=N`` to floating-point accuracy; it is the
+  upper bound of perfect cross-stream batching.
+* **contention** (default) — every stream issues its own prediction and
+  fetch work.  KV-fetch transfers queue FCFS on the shared PCIe link
+  (:class:`repro.hw.memory.pcie.PCIeLinkQueue`, with each stream's link
+  efficiency derived from its measured cluster occupancy) and ReSV
+  prediction jobs serialize on the shared DRE (HCU+WTU).  Aligned frame
+  arrivals therefore expose queueing delay that staggered arrivals avoid.
+  Dense LLM compute and the vision tower are treated as private to each
+  stream (the LXE/GPU time-slices fairly); the two modes bracket a real
+  scheduler between no batching and perfect batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hw.accelerator import VRexAccelerator
+from repro.hw.compute import KernelCost
+from repro.hw.dre.kvmu import KVFetchWork
+from repro.hw.event import ResourceQueue
+from repro.hw.memory.pcie import PCIeLinkQueue
+from repro.sim.pipeline import (
+    FRAME_STAGE,
+    GENERATION_STAGE,
+    LatencyModel,
+    MeasuredRetrieval,
+    PredictionParts,
+    gpu_sequential_fraction,
+    overlap_rules,
+)
+from repro.sim.systems import SystemConfig
+
+
+# ---------------------------------------------------------------------- #
+# per-stream calibration
+# ---------------------------------------------------------------------- #
+@dataclass
+class StreamProfile:
+    """Per-stream calibration of the batched performance plane.
+
+    ``frame_ratio`` / ``generation_ratio`` override the policy's published
+    retrieval ratios with the stream's measured ones (``None`` keeps the
+    policy value); ``measured`` carries the stream's WiCSum sort fraction
+    and cluster occupancy; ``arrival_offset_s`` is the stream's frame
+    arrival phase relative to the serving tick (0 for aligned arrivals).
+    """
+
+    kv_len: int
+    measured: MeasuredRetrieval = field(default_factory=MeasuredRetrieval)
+    frame_ratio: float | None = None
+    generation_ratio: float | None = None
+    arrival_offset_s: float = 0.0
+    session_id: int = 0
+
+    def ratio_override(self, stage: str) -> float | None:
+        """Measured retrieval-ratio override for a stage (``None`` = policy)."""
+        return self.frame_ratio if stage == FRAME_STAGE else self.generation_ratio
+
+    @classmethod
+    def from_session_report(
+        cls, report, arrival_offset_s: float = 0.0, kv_len: int | None = None
+    ) -> "StreamProfile":
+        """Calibrate one stream from a functional-plane session report.
+
+        Mirrors :meth:`MeasuredRetrieval.from_session_report`: measured
+        values are adopted only where the session genuinely produced data
+        (a stream that never prefilled a frame keeps the policy's frame
+        ratio).  ``kv_len`` can project a toy functional cache onto a
+        production cache length while keeping the measured statistics.
+        """
+        did_frame_work = report.frames_processed > 0 or report.questions_asked > 0
+        return cls(
+            kv_len=report.cache_tokens if kv_len is None else kv_len,
+            measured=MeasuredRetrieval.from_session_report(report),
+            frame_ratio=report.frame_retrieval_ratio if did_frame_work else None,
+            generation_ratio=report.generation_retrieval_ratio
+            if report.tokens_generated > 0
+            else None,
+            arrival_offset_s=arrival_offset_s,
+            session_id=report.session_id,
+        )
+
+
+def _broadcast_per_stream(
+    value, num_streams: int, name: str, allow_none_entries: bool = False
+):
+    """Broadcast a scalar (python or numpy int) or validate a per-stream list."""
+    if isinstance(value, (int, np.integer)):
+        return [int(value)] * num_streams
+    entries = list(value)
+    if len(entries) != num_streams:
+        raise ValueError(
+            f"expected one {name} entry per stream ({num_streams}), got {len(entries)}"
+        )
+    out: list[int | None] = []
+    for entry in entries:
+        if entry is None:
+            if not allow_none_entries:
+                raise ValueError(f"{name} entries must be integers, got None")
+            out.append(None)
+        else:
+            out.append(int(entry))
+    return out
+
+
+def aligned_arrivals(num_streams: int) -> list[float]:
+    """All streams' frames arrive at the same instant (worst-case collision)."""
+    return [0.0] * num_streams
+
+
+def staggered_arrivals(num_streams: int, spacing_s: float) -> list[float]:
+    """Frame arrivals spread ``spacing_s`` apart (admission-controlled phase)."""
+    if spacing_s < 0:
+        raise ValueError("spacing_s must be non-negative")
+    return [index * spacing_s for index in range(num_streams)]
+
+
+def profiles_from_reports(
+    reports,
+    arrival_offsets: Sequence[float] | None = None,
+    kv_lens: Sequence[int] | None = None,
+) -> list[StreamProfile]:
+    """Build one :class:`StreamProfile` per session report.
+
+    ``arrival_offsets`` defaults to aligned arrivals; ``kv_lens`` optionally
+    projects each stream onto a production cache length (the functional
+    plane runs a toy model whose caches are a few hundred tokens).
+    """
+    reports = list(reports)
+    if arrival_offsets is None:
+        arrival_offsets = aligned_arrivals(len(reports))
+    if len(arrival_offsets) != len(reports):
+        raise ValueError(
+            f"expected one arrival offset per report ({len(reports)}), got {len(arrival_offsets)}"
+        )
+    if kv_lens is not None and len(kv_lens) != len(reports):
+        raise ValueError(f"expected one kv_len per report ({len(reports)}), got {len(kv_lens)}")
+    return [
+        StreamProfile.from_session_report(
+            report,
+            arrival_offset_s=offset,
+            kv_len=None if kv_lens is None else int(kv_lens[index]),
+        )
+        for index, (report, offset) in enumerate(zip(reports, arrival_offsets))
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# results
+# ---------------------------------------------------------------------- #
+@dataclass
+class StreamStepResult:
+    """One stream's share of a batched pipeline step.
+
+    ``total_s`` is measured from the stream's own arrival; the breakdown
+    mirrors :class:`repro.sim.pipeline.StepResult` plus the queueing waits
+    (``pcie_wait_s`` / ``dre_wait_s``) the shared resources inflicted.
+    """
+
+    session_id: int
+    kv_len: int
+    arrival_offset_s: float
+    total_s: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    fetch_bytes: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def exposed_fetch_s(self) -> float:
+        """KV-fetch time not hidden behind compute (includes link waits)."""
+        return self.breakdown.get("kv_fetch", 0.0)
+
+    @property
+    def pcie_wait_s(self) -> float:
+        return self.breakdown.get("pcie_wait", 0.0)
+
+    @property
+    def dre_wait_s(self) -> float:
+        return self.breakdown.get("dre_wait", 0.0)
+
+
+@dataclass
+class BatchStepResult:
+    """Fleet-level result of one batched pipeline step."""
+
+    system: str
+    stage: str
+    contention: bool
+    total_s: float
+    streams: list[StreamStepResult] = field(default_factory=list)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    oom: bool = False
+
+    @property
+    def batch(self) -> int:
+        return len(self.streams)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def fps(self) -> float:
+        """Serving throughput: streams completed per second of makespan."""
+        if self.total_s <= 0 or self.oom:
+            return 0.0
+        return self.batch / self.total_s
+
+    @property
+    def mean_stream_total_s(self) -> float:
+        if not self.streams:
+            return 0.0
+        return sum(stream.total_s for stream in self.streams) / len(self.streams)
+
+    @property
+    def mean_exposed_fetch_s(self) -> float:
+        if not self.streams:
+            return 0.0
+        return sum(stream.exposed_fetch_s for stream in self.streams) / len(self.streams)
+
+    @property
+    def max_pcie_wait_s(self) -> float:
+        if not self.streams:
+            return 0.0
+        return max(stream.pcie_wait_s for stream in self.streams)
+
+
+@dataclass
+class StreamScenarioEstimate:
+    """Per-stream end-to-end scenario estimate at the current fleet mix."""
+
+    session_id: int
+    kv_len: int
+    frames: int
+    answer_tokens: int
+    vision_s: float
+    prefill_s: float
+    generation_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.vision_s + self.prefill_s + self.generation_s
+
+
+# ---------------------------------------------------------------------- #
+# internal per-stream demand assembly
+# ---------------------------------------------------------------------- #
+@dataclass
+class _StreamDemand:
+    """Per-layer resource demands of one stream (batch-1 granularity)."""
+
+    profile: StreamProfile
+    q_len: int
+    active: bool
+    compute_cost: KernelCost = field(default_factory=lambda: KernelCost(0.0, 0.0))
+    parts: PredictionParts | None = None
+    fetch_bytes: float = 0.0
+    fetch_service_s: float = 0.0  # full per-layer fetch (incl. link/SSD latency)
+    pcie_occupancy_s: float = 0.0  # bytes-on-the-wire time, no request latency
+    ssd_occupancy_s: float = 0.0  # SSD media time, no access latency
+
+
+class BatchLatencyModel:
+    """Prices whole fleets of heterogeneous streams on one system.
+
+    Wraps a (optionally calibrated) :class:`LatencyModel`; the wrapped
+    model's workload, streaming defaults and device cache are reused, its
+    global ``measured`` calibration is superseded by each stream's profile.
+    """
+
+    def __init__(self, base: LatencyModel | None = None, contention: bool = True):
+        self.base = base or LatencyModel()
+        self.contention = contention
+
+    # ------------------------------------------------------------------ #
+    # public steps
+    # ------------------------------------------------------------------ #
+    def frame_step(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        contention: bool | None = None,
+    ) -> BatchStepResult:
+        """One serving tick: every stream prefills one incoming frame."""
+        q_len = self.base.llm.model.tokens_per_frame
+        return self._batched_step(
+            system,
+            profiles,
+            q_lens=[q_len] * len(profiles),
+            stage=FRAME_STAGE,
+            include_vision=True,
+            contention=self._mode(contention),
+        )
+
+    def question_step(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        question_tokens: int | Sequence[int | None] | None = None,
+        contention: bool | None = None,
+    ) -> BatchStepResult:
+        """Question prefill; per-stream token counts, ``None`` skips a stream."""
+        if question_tokens is None:
+            q_lens: list[int | None] = [self.base.streaming.question_tokens] * len(profiles)
+        else:
+            q_lens = _broadcast_per_stream(
+                question_tokens, len(profiles), "question_tokens", allow_none_entries=True
+            )
+        return self._batched_step(
+            system,
+            profiles,
+            q_lens=q_lens,
+            stage=FRAME_STAGE,
+            include_vision=False,
+            contention=self._mode(contention),
+        )
+
+    def generation_step(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        contention: bool | None = None,
+    ) -> BatchStepResult:
+        """Time per output token while every stream decodes concurrently."""
+        return self._batched_step(
+            system,
+            profiles,
+            q_lens=[1] * len(profiles),
+            stage=GENERATION_STAGE,
+            include_vision=False,
+            contention=self._mode(contention),
+        )
+
+    def scenario_estimates(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        frames: int | Sequence[int] | None = None,
+        answer_tokens: int | Sequence[int] | None = None,
+        contention: bool | None = None,
+    ) -> list[StreamScenarioEstimate]:
+        """Per-stream end-to-end estimates at the current fleet composition.
+
+        Prices one frame, question and generation step for the fleet and
+        scales each stream's share by its own frame/answer counts (explicit
+        zeros are honoured).  The fleet mix is held constant across the
+        scenario — an approximation that is exact for the steady state the
+        sweep figures report.
+        """
+        frames_per_stream = self._per_stream_counts(
+            frames, self.base.streaming.frames_per_query, len(profiles), "frames"
+        )
+        answers_per_stream = self._per_stream_counts(
+            answer_tokens, self.base.streaming.answer_tokens, len(profiles), "answer_tokens"
+        )
+        mode = self._mode(contention)
+        frame = self.frame_step(system, profiles, contention=mode)
+        question = self.question_step(system, profiles, contention=mode)
+        generation = self.generation_step(system, profiles, contention=mode)
+        estimates = []
+        for index, profile in enumerate(profiles):
+            frame_row = frame.streams[index]
+            vision_each = frame_row.breakdown.get("vision", 0.0)
+            estimates.append(
+                StreamScenarioEstimate(
+                    session_id=profile.session_id,
+                    kv_len=profile.kv_len,
+                    frames=frames_per_stream[index],
+                    answer_tokens=answers_per_stream[index],
+                    vision_s=vision_each * frames_per_stream[index],
+                    prefill_s=(frame_row.total_s - vision_each) * frames_per_stream[index]
+                    + question.streams[index].total_s,
+                    generation_s=generation.streams[index].total_s
+                    * answers_per_stream[index],
+                )
+            )
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _mode(self, contention: bool | None) -> bool:
+        return self.contention if contention is None else contention
+
+    @staticmethod
+    def _per_stream_counts(value, default: int, num_streams: int, name: str) -> list[int]:
+        if value is None:
+            return [default] * num_streams
+        return _broadcast_per_stream(value, num_streams, name)
+
+    def _stream_demand(
+        self, system: SystemConfig, profile: StreamProfile, q_len: int | None, stage: str
+    ) -> _StreamDemand:
+        """Assemble one stream's per-layer demands (mirrors ``LatencyModel._step``)."""
+        base = self.base
+        active = q_len is not None and q_len > 0
+        demand = _StreamDemand(profile=profile, q_len=q_len or 0, active=active)
+        if not active:
+            return demand
+        ratio = profile.ratio_override(stage)
+        selected = base._selected_tokens(system, profile.kv_len, stage, ratio=ratio)
+        demand.compute_cost = base.llm.layer_cost(q_len, selected, 1)
+        demand.parts = base._prediction_parts(
+            system, q_len, profile.kv_len, stage, measured=profile.measured
+        )
+        per_layer_bytes = base._fetch_bytes_per_layer(
+            system, profile.kv_len, stage, 1, ratio=ratio
+        )
+        if per_layer_bytes <= 0:
+            return demand
+        demand.fetch_bytes = per_layer_bytes
+        device = base.device_for(system)
+        from_ssd = system.device.offload_target == "ssd"
+        if isinstance(device, VRexAccelerator):
+            work = KVFetchWork(
+                total_bytes=per_layer_bytes,
+                mean_contiguous_bytes=base._contiguous_bytes(system, profile.measured),
+                from_ssd=from_ssd,
+            )
+            efficiency = device.kvmu.link_efficiency(work)
+            demand.fetch_service_s = device.fetch_time_s(work)
+            demand.pcie_occupancy_s = device.link.occupancy_s(per_layer_bytes, efficiency)
+            if from_ssd:
+                demand.ssd_occupancy_s = device.ssd.read_occupancy_s(
+                    per_layer_bytes, device.kvmu.ssd_sequential_fraction()
+                )
+        else:
+            effective_ratio = system.policy.ratio(stage) if ratio is None else ratio
+            sequential = gpu_sequential_fraction(effective_ratio)
+            demand.fetch_service_s = device.fetch_time_s(
+                per_layer_bytes, from_ssd=from_ssd, sequential_fraction=sequential
+            )
+            demand.pcie_occupancy_s = device.link.occupancy_s(
+                per_layer_bytes, system.device.pcie_efficiency
+            )
+            if from_ssd:
+                demand.ssd_occupancy_s = device.ssd.read_occupancy_s(
+                    per_layer_bytes, sequential
+                )
+        return demand
+
+    def _batched_oom(self, system: SystemConfig, profiles: Sequence[StreamProfile]) -> bool:
+        """Fleet working set vs device memory, per-stream budgets applied."""
+        base = self.base
+        resident_cache = 0.0
+        for profile in profiles:
+            per_stream = base.llm.kv_cache_bytes(profile.kv_len, 1) * system.kv_bytes_scale
+            if system.kv_offloaded:
+                per_stream = min(per_stream, system.kv_device_budget_bytes)
+            resident_cache += per_stream
+        resident = base.llm.model_bytes() + resident_cache + system.activation_reserve_bytes
+        return resident > system.device.memory_capacity_bytes
+
+    def _batched_step(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        q_lens: Sequence[int | None],
+        stage: str,
+        include_vision: bool,
+        contention: bool,
+    ) -> BatchStepResult:
+        if not profiles:
+            raise ValueError("a batched step needs at least one stream profile")
+        demands = [
+            self._stream_demand(system, profile, q_len, stage)
+            for profile, q_len in zip(profiles, q_lens)
+        ]
+        oom = self._batched_oom(system, profiles)
+        if contention:
+            return self._contended_step(system, demands, stage, include_vision, oom)
+        return self._aggregated_step(system, demands, stage, include_vision, oom)
+
+    # ------------------------------------------------------------------ #
+    # no-contention mode: exact batched pricing
+    # ------------------------------------------------------------------ #
+    def _aggregated_step(
+        self,
+        system: SystemConfig,
+        demands: list[_StreamDemand],
+        stage: str,
+        include_vision: bool,
+        oom: bool,
+    ) -> BatchStepResult:
+        base = self.base
+        device = base.device_for(system)
+        num_layers = base.llm.model.num_layers
+        active = [demand for demand in demands if demand.active]
+
+        compute_layer = 0.0
+        prediction_layer = 0.0
+        fetch_layer = 0.0
+        on_dre = False
+        total_bytes = 0.0
+        if active:
+            # Dense LLM compute: weights are read once for the whole batch,
+            # per-stream KV reads and activations sum (identical to
+            # ``TransformerWorkload.layer_cost`` at batch=N for homogeneous
+            # streams).
+            weight_bytes = base.llm.weight_bytes_per_layer()
+            aggregate_cost = KernelCost(
+                sum(demand.compute_cost.flops for demand in active),
+                weight_bytes
+                + sum(demand.compute_cost.dram_bytes - weight_bytes for demand in active),
+            )
+            compute_layer = device.dense_time_s(aggregate_cost)
+
+            # KV prediction: the matrix pieces batch on the dense/irregular
+            # engine, the data-dependent work is linear per stream, and the
+            # fixed selection overhead is paid once per batched invocation.
+            parts_list = [demand.parts for demand in active if demand.parts is not None]
+            if parts_list:
+                dense_cost = KernelCost(sum(parts.dense_flops for parts in parts_list))
+                if parts_list[0].engine == "dense":
+                    matrix_time = device.dense_time_s(dense_cost)
+                else:
+                    matrix_time = device.irregular_time_s(dense_cost)
+                prediction_layer = (
+                    matrix_time
+                    + sum(parts.serial_s for parts in parts_list)
+                    + max(parts.overhead_s for parts in parts_list)
+                )
+                on_dre = parts_list[0].on_dre
+
+            # KV fetch: one merged transfer per layer — the link request
+            # latency (and SSD access latency) is paid once, each stream's
+            # bytes move at that stream's achievable efficiency.
+            total_bytes = sum(demand.fetch_bytes for demand in active)
+            if total_bytes > 0:
+                link = device.link
+                pcie_time = link.config.latency_us * 1e-6 + sum(
+                    demand.pcie_occupancy_s for demand in active
+                )
+                if system.device.offload_target == "ssd":
+                    ssd_time = device.ssd.config.read_latency_us * 1e-6 + sum(
+                        demand.ssd_occupancy_s for demand in active
+                    )
+                    fetch_layer = max(pcie_time, ssd_time)
+                else:
+                    fetch_layer = pcie_time
+
+        layer_latency, exposed_prediction, exposed_fetch = overlap_rules(
+            system, stage, compute_layer, prediction_layer, fetch_layer
+        )
+        vision_time = (
+            base._vision_time(system, len(demands))[0] if include_vision else 0.0
+        )
+        total = layer_latency * num_layers + vision_time
+        breakdown = {
+            "vision": vision_time,
+            "llm_compute": compute_layer * num_layers,
+            "kv_prediction": exposed_prediction * num_layers,
+            "kv_fetch": exposed_fetch * num_layers,
+            "kv_prediction_raw": prediction_layer * num_layers,
+            "kv_fetch_raw": fetch_layer * num_layers,
+            "prediction_on_dre": float(on_dre),
+        }
+        vision_each = (
+            base._vision_time(system, 1)[0] if include_vision else 0.0
+        )
+        per_stream_prediction = [
+            base._price_prediction_parts(system, demand.parts) if demand.active else 0.0
+            for demand in demands
+        ]
+        prediction_total = sum(per_stream_prediction)
+        streams = []
+        for index, demand in enumerate(demands):
+            stream_compute = device.dense_time_s(demand.compute_cost) if demand.active else 0.0
+            stream_prediction = per_stream_prediction[index]
+            # the fleet's exposed prediction/fetch are attributed to streams
+            # proportionally to their demands (shares sum to the fleet value)
+            fetch_share = demand.fetch_bytes / total_bytes if total_bytes > 0 else 0.0
+            prediction_share = (
+                stream_prediction / prediction_total if prediction_total > 0 else 0.0
+            )
+            streams.append(
+                StreamStepResult(
+                    session_id=demand.profile.session_id,
+                    kv_len=demand.profile.kv_len,
+                    arrival_offset_s=demand.profile.arrival_offset_s,
+                    # the batch completes together; every stream observes the
+                    # fleet latency, its breakdown carries its own demands
+                    total_s=total if demand.active else 0.0,
+                    breakdown={
+                        "vision": vision_each if demand.active else 0.0,
+                        "llm_compute": stream_compute * num_layers,
+                        "kv_prediction": exposed_prediction * num_layers * prediction_share,
+                        "kv_fetch": exposed_fetch * num_layers * fetch_share,
+                        "kv_prediction_raw": stream_prediction * num_layers,
+                        "kv_fetch_raw": demand.fetch_service_s * num_layers,
+                        "pcie_wait": 0.0,
+                        "dre_wait": 0.0,
+                    },
+                    fetch_bytes=demand.fetch_bytes * num_layers,
+                )
+            )
+        return BatchStepResult(
+            system=system.name,
+            stage=stage,
+            contention=False,
+            total_s=total,
+            streams=streams,
+            breakdown=breakdown,
+            oom=oom,
+        )
+
+    # ------------------------------------------------------------------ #
+    # contention mode: FCFS queueing on the shared PCIe link and DRE
+    # ------------------------------------------------------------------ #
+    def _contended_step(
+        self,
+        system: SystemConfig,
+        demands: list[_StreamDemand],
+        stage: str,
+        include_vision: bool,
+        oom: bool,
+    ) -> BatchStepResult:
+        base = self.base
+        device = base.device_for(system)
+        num_layers = base.llm.model.num_layers
+        policy = system.policy
+        is_vrex = isinstance(device, VRexAccelerator)
+        overlaps = policy.overlap_fetch or stage == GENERATION_STAGE
+        vision_each = base._vision_time(system, 1)[0] if include_vision else 0.0
+
+        # Phase 1 — per-stream timing up to the link request.  DRE
+        # prediction jobs are issued the moment a stream's LLM phase starts,
+        # so serving them in arrival order IS the DRE's FCFS order.
+        # Simultaneous requests tie-break on session id, keeping the
+        # schedule a function of the fleet rather than the list order.
+        dre_queue = ResourceQueue(name="dre")
+        timings: list[dict | None] = [None] * len(demands)
+        for index in sorted(
+            range(len(demands)),
+            key=lambda i: (demands[i].profile.arrival_offset_s, demands[i].profile.session_id, i),
+        ):
+            demand = demands[index]
+            if not demand.active:
+                continue
+            start = demand.profile.arrival_offset_s + vision_each
+            compute_s = device.dense_time_s(demand.compute_cost) * num_layers
+            prediction_s = base._price_prediction_parts(system, demand.parts) * num_layers
+            fetch_s = demand.fetch_service_s * num_layers
+            dre_wait = 0.0
+            if is_vrex:
+                # Prediction runs on the shared DRE; the fetch it unlocks
+                # requests the link when the prediction completes.
+                if demand.parts is not None and demand.parts.on_dre and prediction_s > 0:
+                    served = dre_queue.enqueue(start, prediction_s)
+                    dre_wait = served.wait_s
+                    prediction_end = served.finish_s
+                else:
+                    prediction_end = start + prediction_s
+                request = prediction_end
+            elif overlaps:
+                # GPU: prediction kernels compete with the LLM kernels for
+                # the same SMs (serial per stream); the prefetch overlaps
+                # compute but must win the shared link first.
+                prediction_end = start + prediction_s
+                request = prediction_end
+            else:
+                # FlexGen-style serial load-then-compute prefill requests
+                # the link only after its compute finishes.
+                prediction_end = start + prediction_s
+                request = start + prediction_s + compute_s
+            timings[index] = {
+                "start": start,
+                "compute_s": compute_s,
+                "prediction_s": prediction_s,
+                "prediction_end": prediction_end,
+                "fetch_s": fetch_s,
+                "request": request,
+                "dre_wait": dre_wait,
+            }
+
+        # Phase 2 — the shared link serves transfers FCFS in *request-time*
+        # order (which differs from arrival order when per-stream prediction
+        # or compute times differ), so the schedule is independent of the
+        # profile list order.
+        link_queue = PCIeLinkQueue(device.link)
+        transfers: dict[int, object] = {}
+        for index in sorted(
+            (i for i, timing in enumerate(timings) if timing is not None and timing["fetch_s"] > 0),
+            key=lambda i: (timings[i]["request"], demands[i].profile.session_id, i),
+        ):
+            transfers[index] = link_queue.enqueue(
+                timings[index]["request"], timings[index]["fetch_s"]
+            )
+
+        # Phase 3 — assemble per-stream results under the overlap rules.
+        rows: list[StreamStepResult] = []
+        for index, demand in enumerate(demands):
+            profile = demand.profile
+            timing = timings[index]
+            if timing is None:
+                rows.append(
+                    StreamStepResult(
+                        session_id=profile.session_id,
+                        kv_len=profile.kv_len,
+                        arrival_offset_s=profile.arrival_offset_s,
+                        total_s=0.0,
+                        breakdown={
+                            "vision": 0.0,
+                            "llm_compute": 0.0,
+                            "kv_prediction": 0.0,
+                            "kv_fetch": 0.0,
+                            "kv_prediction_raw": 0.0,
+                            "kv_fetch_raw": 0.0,
+                            "pcie_wait": 0.0,
+                            "dre_wait": 0.0,
+                        },
+                    )
+                )
+                continue
+            start = timing["start"]
+            compute_s = timing["compute_s"]
+            prediction_s = timing["prediction_s"]
+            fetch_s = timing["fetch_s"]
+            dre_wait = timing["dre_wait"]
+            transfer = transfers.get(index)
+            pcie_wait = transfer.wait_s if transfer is not None else 0.0
+            fetch_end = transfer.finish_s if transfer is not None else timing["request"]
+            if is_vrex:
+                # Prediction and fetch (with their waits) overlap this
+                # stream's own compute (Fig. 5 iii); only the excess beyond
+                # compute is exposed.
+                hidden_end = fetch_end if transfer is not None else timing["prediction_end"]
+                hidden = hidden_end - start
+                prediction_effective = timing["prediction_end"] - start
+                latency = max(compute_s, hidden)
+                exposed_prediction = max(0.0, min(prediction_effective, hidden - compute_s))
+                exposed_fetch = max(0.0, hidden - compute_s - exposed_prediction)
+            elif overlaps:
+                fetch_effective = fetch_end - timing["request"] if transfer is not None else 0.0
+                latency = prediction_s + max(compute_s, fetch_effective)
+                exposed_prediction = prediction_s
+                exposed_fetch = max(0.0, fetch_effective - compute_s)
+            else:
+                exposed_fetch = fetch_end - timing["request"] if transfer is not None else 0.0
+                latency = prediction_s + compute_s + exposed_fetch
+                exposed_prediction = prediction_s
+            rows.append(
+                StreamStepResult(
+                    session_id=profile.session_id,
+                    kv_len=profile.kv_len,
+                    arrival_offset_s=profile.arrival_offset_s,
+                    total_s=vision_each + latency,
+                    breakdown={
+                        "vision": vision_each,
+                        "llm_compute": compute_s,
+                        "kv_prediction": exposed_prediction,
+                        "kv_fetch": exposed_fetch,
+                        "kv_prediction_raw": prediction_s,
+                        "kv_fetch_raw": fetch_s,
+                        "pcie_wait": pcie_wait,
+                        "dre_wait": dre_wait,
+                    },
+                    fetch_bytes=demand.fetch_bytes * num_layers,
+                )
+            )
+
+        streams = rows
+        arrivals = [stream.arrival_offset_s for stream in streams]
+        finishes = [stream.arrival_offset_s + stream.total_s for stream in streams]
+        makespan = max(finishes) - min(arrivals) if streams else 0.0
+        breakdown = {
+            "vision": sum(s.breakdown["vision"] for s in streams),
+            "llm_compute": sum(s.breakdown["llm_compute"] for s in streams),
+            "kv_prediction": sum(s.breakdown["kv_prediction"] for s in streams),
+            "kv_fetch": sum(s.breakdown["kv_fetch"] for s in streams),
+            "kv_prediction_raw": sum(s.breakdown["kv_prediction_raw"] for s in streams),
+            "kv_fetch_raw": sum(s.breakdown["kv_fetch_raw"] for s in streams),
+            "pcie_wait": sum(s.pcie_wait_s for s in streams),
+            "dre_wait": sum(s.dre_wait_s for s in streams),
+        }
+        return BatchStepResult(
+            system=system.name,
+            stage=stage,
+            contention=True,
+            total_s=makespan,
+            streams=streams,
+            breakdown=breakdown,
+            oom=oom,
+        )

@@ -32,10 +32,9 @@ from repro.hw.gpu import GPUDevice
 from repro.sim.systems import (
     AVG_TOKENS_PER_CLUSTER,
     EARLY_EXIT_SORT_FRACTION,
-    GPU_FRAME_SELECTION_OVERHEAD_S,
     GPU_SORT_RATE,
-    GPU_TOKEN_SELECTION_OVERHEAD_S,
     SystemConfig,
+    selection_overhead_s,
 )
 from repro.sim.workload import TransformerWorkload, VisionWorkload, default_llm_workload, default_vision_workload
 
@@ -47,6 +46,52 @@ GENERATION_STAGE = "generation"
 #: conditional structure keeps it far below the GPU's arithmetic peak
 #: (this is the inefficiency the HCU removes).
 GPU_CLUSTERING_RATE = {"gpu_edge": 3.0e8, "gpu_server": 1.5e9}
+
+
+def gpu_sequential_fraction(ratio: float) -> float:
+    """Contiguity of a GPU fetch at a selection ratio.
+
+    A full-cache fetch (FlexGen) streams sequentially; token-granular
+    selections scatter across the offloaded layout.
+    """
+    return 0.95 if ratio >= 0.999 else 0.5
+
+
+def overlap_rules(
+    system: SystemConfig,
+    stage: str,
+    compute_layer: float,
+    prediction_layer: float,
+    fetch_layer: float,
+) -> tuple[float, float, float]:
+    """Per-layer latency and exposed prediction/fetch under a system's overlap.
+
+    The single source of the overlap semantics shared by ``LatencyModel``
+    and the batched plane:
+
+    * V-Rex — prediction and prefetch for the next layer overlap with this
+      layer's compute (Fig. 5 iii); only the excess is exposed.
+    * overlapping GPU — the prefetch overlaps compute but the prediction
+      kernels compete with the LLM kernels for the same SMs (Fig. 5 ii).
+    * serial — FlexGen's load-then-compute iterative prefill (Fig. 5 i);
+      its generation pipeline overlaps I/O with compute as designed, so the
+      serial rule applies to the frame stage only.
+    """
+    overlaps = system.policy.overlap_fetch or stage == GENERATION_STAGE
+    if system.device.kind == "vrex":
+        hidden = prediction_layer + fetch_layer
+        layer_latency = max(compute_layer, hidden)
+        exposed_prediction = max(0.0, min(prediction_layer, hidden - compute_layer))
+        exposed_fetch = max(0.0, hidden - compute_layer - exposed_prediction)
+    elif overlaps:
+        layer_latency = prediction_layer + max(compute_layer, fetch_layer)
+        exposed_prediction = prediction_layer
+        exposed_fetch = max(0.0, fetch_layer - compute_layer)
+    else:
+        layer_latency = prediction_layer + compute_layer + fetch_layer
+        exposed_prediction = prediction_layer
+        exposed_fetch = fetch_layer
+    return layer_latency, exposed_prediction, exposed_fetch
 
 
 @dataclass
@@ -94,6 +139,25 @@ class MeasuredRetrieval:
             if has_clusters
             else float(AVG_TOKENS_PER_CLUSTER),
         )
+
+
+@dataclass(frozen=True)
+class PredictionParts:
+    """One stream's per-layer KV-prediction demand, split for batched pricing.
+
+    ``dense_flops`` run on the dense engine (LXE) or the GPU's irregular
+    engine and aggregate across streams at the kernel-cost level;
+    ``serial_s`` is the stream's data-dependent work (DRE HCU+WTU time, or
+    the GPU's clustering loop + threshold sort) which is linear in the
+    stream's demand; ``overhead_s`` is the fixed kernel-launch/sync cost
+    paid once per prediction invocation.
+    """
+
+    engine: str  # "dense" (LXE / GPU dense kernels) or "irregular" (GPU top-k scoring)
+    dense_flops: float
+    serial_s: float
+    overhead_s: float
+    on_dre: bool
 
 
 @dataclass
@@ -214,81 +278,120 @@ class LatencyModel:
     # ------------------------------------------------------------------ #
     # pipeline components
     # ------------------------------------------------------------------ #
-    def _selected_tokens(self, system: SystemConfig, kv_len: int, stage: str) -> int:
-        return int(round(kv_len * system.policy.ratio(stage)))
+    def _selected_tokens(
+        self, system: SystemConfig, kv_len: int, stage: str, ratio: float | None = None
+    ) -> int:
+        if ratio is None:
+            ratio = system.policy.ratio(stage)
+        return int(round(kv_len * ratio))
 
-    def _avg_tokens_per_cluster(self, system: SystemConfig) -> float:
+    def _avg_tokens_per_cluster(
+        self, system: SystemConfig, measured: MeasuredRetrieval | None = None
+    ) -> float:
         """Cluster occupancy for a system's retrieval policy.
 
         An explicitly configured ``RetrievalPolicy.avg_tokens_per_cluster``
         (occupancy sweeps, the clustering-disabled ablation's 1) always
         wins; only policies left at the published default are calibrated by
-        the functional-plane measurement.
+        the functional-plane measurement — either this model's global
+        ``self.measured`` or a per-stream override from the batched plane.
         """
         policy_avg = system.policy.avg_tokens_per_cluster
         if policy_avg != AVG_TOKENS_PER_CLUSTER:
             return float(policy_avg)
-        return self.measured.avg_tokens_per_cluster
+        if measured is None:
+            measured = self.measured
+        return measured.avg_tokens_per_cluster
 
-    def _fetch(self, system: SystemConfig, kv_len: int, stage: str, batch: int):
-        """Per-layer fetch bytes and time for the selected-but-offloaded tokens."""
-        selected = self._selected_tokens(system, kv_len, stage)
+    def _fetch_bytes_per_layer(
+        self,
+        system: SystemConfig,
+        kv_len: int,
+        stage: str,
+        batch: int,
+        ratio: float | None = None,
+    ) -> float:
+        """Per-layer bytes of the selected-but-offloaded tokens."""
+        selected = self._selected_tokens(system, kv_len, stage, ratio=ratio)
         off_fraction = self.offloaded_fraction(system, kv_len, batch)
-        offchip_tokens = selected * off_fraction
-        per_layer_bytes = (
-            offchip_tokens
+        return (
+            selected
+            * off_fraction
             * self.llm.kv_bytes_per_token_per_layer()
             * system.kv_bytes_scale
             * batch
         )
+
+    def _fetch(
+        self,
+        system: SystemConfig,
+        kv_len: int,
+        stage: str,
+        batch: int,
+        measured: MeasuredRetrieval | None = None,
+        ratio: float | None = None,
+    ):
+        """Per-layer fetch bytes and time for the selected-but-offloaded tokens."""
+        effective_ratio = system.policy.ratio(stage) if ratio is None else ratio
+        per_layer_bytes = self._fetch_bytes_per_layer(system, kv_len, stage, batch, ratio=ratio)
         if per_layer_bytes <= 0:
             return 0.0, 0.0
         device = self.device_for(system)
         from_ssd = system.device.offload_target == "ssd"
         if isinstance(device, VRexAccelerator):
-            contiguous = (
-                self._avg_tokens_per_cluster(system) * self.llm.kv_bytes_per_token_per_layer()
-                if system.policy.cluster_mapping
-                else self.llm.kv_bytes_per_token_per_layer()
-            )
             work = KVFetchWork(
                 total_bytes=per_layer_bytes,
-                mean_contiguous_bytes=contiguous,
+                mean_contiguous_bytes=self._contiguous_bytes(system, measured),
                 from_ssd=from_ssd,
             )
             return per_layer_bytes, device.fetch_time_s(work)
-        # GPU path: a full-cache fetch streams sequentially; token-granular
-        # selections scatter across the offloaded layout.
-        sequential = 0.95 if system.policy.ratio(stage) >= 0.999 else 0.5
         return per_layer_bytes, device.fetch_time_s(
-            per_layer_bytes, from_ssd=from_ssd, sequential_fraction=sequential
+            per_layer_bytes,
+            from_ssd=from_ssd,
+            sequential_fraction=gpu_sequential_fraction(effective_ratio),
         )
 
-    def _prediction(
-        self, system: SystemConfig, q_len: int, kv_len: int, stage: str, batch: int
-    ) -> tuple[float, bool]:
-        """Per-layer KV-prediction time and whether it runs on the DRE."""
+    def _contiguous_bytes(
+        self, system: SystemConfig, measured: MeasuredRetrieval | None = None
+    ) -> float:
+        """Mean contiguous chunk a KVMU fetch sees under the current mapping."""
+        if system.policy.cluster_mapping:
+            return (
+                self._avg_tokens_per_cluster(system, measured)
+                * self.llm.kv_bytes_per_token_per_layer()
+            )
+        return self.llm.kv_bytes_per_token_per_layer()
+
+    def _prediction_parts(
+        self,
+        system: SystemConfig,
+        q_len: int,
+        kv_len: int,
+        stage: str,
+        measured: MeasuredRetrieval | None = None,
+    ) -> PredictionParts | None:
+        """One stream's per-layer KV-prediction demand (``None`` if no prediction)."""
         policy = system.policy
-        if policy.prediction == "none" or kv_len == 0:
-            return 0.0, False
+        if policy.prediction == "none" or kv_len == 0 or q_len <= 0:
+            return None
         if stage == FRAME_STAGE and not policy.prediction_in_prefill:
-            return 0.0, False
+            return None
         device = self.device_for(system)
         device_class = system.device_class
+        if measured is None:
+            measured = self.measured
 
         if policy.prediction == "resv":
-            num_clusters = max(int(kv_len // self._avg_tokens_per_cluster(system)), 1)
-            hashbit_flops = self.llm.resv_hashbit_flops(q_len, 32) * batch
-            score_flops = self.llm.resv_score_flops(q_len, num_clusters) * batch
-            clustering_bit_ops = (
-                q_len * num_clusters * 32 * self.llm.model.num_kv_heads * batch
+            num_clusters = max(
+                int(kv_len // self._avg_tokens_per_cluster(system, measured)), 1
             )
-            wicsum_rows = q_len * self.llm.model.num_heads * batch
+            hashbit_flops = self.llm.resv_hashbit_flops(q_len, 32)
+            score_flops = self.llm.resv_score_flops(q_len, num_clusters)
+            wicsum_rows = q_len * self.llm.model.num_heads
             if policy.prediction_on_dre and isinstance(device, VRexAccelerator):
-                lxe_extra = device.dense_time_s(KernelCost(hashbit_flops + score_flops))
                 dre_time = device.prediction_time_s(
                     HCUWork(
-                        new_tokens=q_len * batch,
+                        new_tokens=q_len,
                         num_clusters=num_clusters,
                         n_bits=32,
                         kv_heads=self.llm.model.num_kv_heads,
@@ -296,39 +399,75 @@ class LatencyModel:
                     WTUWork(
                         rows=wicsum_rows,
                         clusters=num_clusters,
-                        sort_fraction=self.measured.sort_fraction,
+                        sort_fraction=measured.sort_fraction,
                     ),
                 )
-                return lxe_extra + dre_time, True
+                return PredictionParts(
+                    engine="dense",
+                    dense_flops=hashbit_flops + score_flops,
+                    serial_s=dre_time,
+                    overhead_s=0.0,
+                    on_dre=True,
+                )
             # ReSV executed entirely on a GPU (the Fig. 16 AGX+ReSV point):
             # the matrix pieces run as dense kernels, but the conditional
             # clustering loop and the per-row threshold sort crawl.  With
             # clustering disabled (Fig. 19 ablation) there is no Hamming
             # clustering loop at all.
-            dense = device.dense_time_s(KernelCost(hashbit_flops + score_flops))
+            clustering_bit_ops = q_len * num_clusters * 32 * self.llm.model.num_kv_heads
             clustering = (
                 clustering_bit_ops / GPU_CLUSTERING_RATE[device_class]
                 if policy.avg_tokens_per_cluster > 1
                 else 0.0
             )
-            sort_elems = wicsum_rows * num_clusters
-            sorting = sort_elems / GPU_SORT_RATE[device_class]
-            overhead = GPU_TOKEN_SELECTION_OVERHEAD_S[device_class]
-            return dense + clustering + sorting + overhead, False
+            sorting = wicsum_rows * num_clusters / GPU_SORT_RATE[device_class]
+            return PredictionParts(
+                engine="dense",
+                dense_flops=hashbit_flops + score_flops,
+                serial_s=clustering + sorting,
+                overhead_s=selection_overhead_s(device_class),
+                on_dre=False,
+            )
 
         frame_level = policy.prediction == "topk_frame"
-        score_flops = self.llm.topk_prediction_flops(
-            q_len, kv_len, frame_level=frame_level
-        ) * batch
-        sort_elements = self.llm.topk_sort_elements(q_len, kv_len, frame_level=frame_level) * batch
-        overhead = (
-            GPU_FRAME_SELECTION_OVERHEAD_S[device_class]
-            if frame_level
-            else GPU_TOKEN_SELECTION_OVERHEAD_S[device_class]
+        score_flops = self.llm.topk_prediction_flops(q_len, kv_len, frame_level=frame_level)
+        sort_elements = self.llm.topk_sort_elements(q_len, kv_len, frame_level=frame_level)
+        return PredictionParts(
+            engine="irregular",
+            dense_flops=score_flops,
+            serial_s=sort_elements / GPU_SORT_RATE[device_class],
+            overhead_s=selection_overhead_s(device_class, frame_level),
+            on_dre=False,
         )
-        scoring = device.irregular_time_s(KernelCost(score_flops))
-        sorting = sort_elements / GPU_SORT_RATE[device_class]
-        return scoring + sorting + overhead, False
+
+    def _price_prediction_parts(
+        self, system: SystemConfig, parts: PredictionParts | None, batch: int = 1
+    ) -> float:
+        """Per-layer prediction time of ``batch`` identical streams' parts."""
+        if parts is None:
+            return 0.0
+        device = self.device_for(system)
+        cost = KernelCost(parts.dense_flops * batch)
+        if parts.engine == "dense":
+            matrix_time = device.dense_time_s(cost)
+        else:
+            matrix_time = device.irregular_time_s(cost)
+        return matrix_time + parts.serial_s * batch + parts.overhead_s
+
+    def _prediction(
+        self,
+        system: SystemConfig,
+        q_len: int,
+        kv_len: int,
+        stage: str,
+        batch: int,
+        measured: MeasuredRetrieval | None = None,
+    ) -> tuple[float, bool]:
+        """Per-layer KV-prediction time and whether it runs on the DRE."""
+        parts = self._prediction_parts(system, q_len, kv_len, stage, measured=measured)
+        if parts is None:
+            return 0.0, False
+        return self._price_prediction_parts(system, parts, batch), parts.on_dre
 
     def _vision_time(self, system: SystemConfig, batch: int) -> tuple[float, KernelCost]:
         cost = self.vision.frame_cost(batch)
@@ -349,6 +488,27 @@ class LatencyModel:
     ) -> StepResult:
         policy = system.policy
         oom = self.is_oom(system, kv_len, batch)
+        if q_len <= 0:
+            # An empty stage (e.g. ``question_tokens=0``) prefills no tokens,
+            # triggers no prediction and fetches nothing.
+            vision_time = self._vision_time(system, batch)[0] if include_vision else 0.0
+            return StepResult(
+                system=system.name,
+                stage=stage,
+                kv_len=kv_len,
+                batch=batch,
+                total_s=vision_time,
+                breakdown={
+                    "vision": vision_time,
+                    "llm_compute": 0.0,
+                    "kv_prediction": 0.0,
+                    "kv_fetch": 0.0,
+                    "kv_prediction_raw": 0.0,
+                    "kv_fetch_raw": 0.0,
+                    "prediction_on_dre": 0.0,
+                },
+                oom=oom,
+            )
         selected = self._selected_tokens(system, kv_len, stage)
         layer_cost = self.llm.layer_cost(q_len, selected, batch)
         device = self.device_for(system)
@@ -356,27 +516,9 @@ class LatencyModel:
         prediction_layer, on_dre = self._prediction(system, q_len, kv_len, stage, batch)
         fetch_bytes_layer, fetch_layer = self._fetch(system, kv_len, stage, batch)
 
-        # FlexGen's serial load-then-compute behaviour (Fig. 5 i) applies to
-        # the iterative prefill; its generation pipeline overlaps I/O with
-        # compute as designed.
-        overlaps = policy.overlap_fetch or stage == GENERATION_STAGE
-        if system.device.kind == "vrex":
-            # Prediction and prefetch for the next layer overlap with this
-            # layer's compute (Fig. 5 iii); only the excess is exposed.
-            hidden = prediction_layer + fetch_layer
-            layer_latency = max(compute_layer, hidden)
-            exposed_prediction = max(0.0, min(prediction_layer, hidden - compute_layer))
-            exposed_fetch = max(0.0, hidden - compute_layer - exposed_prediction)
-        elif overlaps:
-            # GPU prefetch overlaps the transfer but the prediction kernels
-            # compete with the LLM kernels for the same SMs (Fig. 5 ii).
-            layer_latency = prediction_layer + max(compute_layer, fetch_layer)
-            exposed_prediction = prediction_layer
-            exposed_fetch = max(0.0, fetch_layer - compute_layer)
-        else:
-            layer_latency = prediction_layer + compute_layer + fetch_layer
-            exposed_prediction = prediction_layer
-            exposed_fetch = fetch_layer
+        layer_latency, exposed_prediction, exposed_fetch = overlap_rules(
+            system, stage, compute_layer, prediction_layer, fetch_layer
+        )
 
         num_layers = self.llm.model.num_layers
         compute_total = compute_layer * num_layers
@@ -431,8 +573,12 @@ class LatencyModel:
     def question_step(
         self, system: SystemConfig, kv_len: int, batch: int = 1, question_tokens: int | None = None
     ) -> StepResult:
-        """Latency of prefilling the user's question tokens."""
-        q_len = question_tokens or self.streaming.question_tokens
+        """Latency of prefilling the user's question tokens.
+
+        An explicit ``question_tokens=0`` prices an empty prefill (no work),
+        not the published default.
+        """
+        q_len = self.streaming.question_tokens if question_tokens is None else question_tokens
         return self._step(
             system, kv_len, batch, q_len=q_len, stage=FRAME_STAGE, include_vision=False
         )
@@ -454,9 +600,14 @@ class LatencyModel:
         frames: int | None = None,
         answer_tokens: int | None = None,
     ) -> ScenarioResult:
-        """End-to-end COIN working scenario (26 frames, 25+39 text tokens)."""
-        frames = frames or self.streaming.frames_per_query
-        answer_tokens = answer_tokens or self.streaming.answer_tokens
+        """End-to-end COIN working scenario (26 frames, 25+39 text tokens).
+
+        Explicit zeros are honoured: ``frames=0`` prices a scenario with no
+        video prefill and ``answer_tokens=0`` one with no generation, rather
+        than silently falling back to the published defaults.
+        """
+        frames = self.streaming.frames_per_query if frames is None else frames
+        answer_tokens = self.streaming.answer_tokens if answer_tokens is None else answer_tokens
         frame = self.frame_step(system, kv_len, batch)
         question = self.question_step(system, kv_len, batch)
         generation = self.generation_step(system, kv_len, batch)

@@ -40,6 +40,18 @@ GPU_FRAME_SELECTION_OVERHEAD_S = {"gpu_edge": 0.5e-3, "gpu_server": 0.1e-3}
 GPU_SORT_RATE = {"gpu_edge": 2.0e9, "gpu_server": 1.0e10}
 
 
+def selection_overhead_s(device_class: str, frame_level: bool = False) -> float:
+    """Fixed per-invocation GPU selection overhead for a device class.
+
+    This constant is paid once per prediction invocation regardless of how
+    many streams are batched into it — the batched performance plane counts
+    it once per aggregated step but once *per stream* under contention,
+    where every stream launches its own selection kernels.
+    """
+    table = GPU_FRAME_SELECTION_OVERHEAD_S if frame_level else GPU_TOKEN_SELECTION_OVERHEAD_S
+    return table[device_class]
+
+
 @dataclass(frozen=True)
 class RetrievalPolicy:
     """KV cache retrieval behaviour of a system."""

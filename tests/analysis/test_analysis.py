@@ -66,6 +66,99 @@ class TestReporting:
         assert "25.0%" in text and "75.0%" in text
 
 
+class TestBatchSummaryGating:
+    """Fleet means must aggregate only streams that produced the statistic."""
+
+    @staticmethod
+    def _active_report(session_id=0, sort_fraction=0.2, occupancy=16.0):
+        from repro.model.serving import SessionReport
+
+        return SessionReport(
+            session_id=session_id,
+            frames_processed=4,
+            questions_asked=1,
+            tokens_generated=2,
+            cache_tokens=100,
+            cache_bytes=6400,
+            frame_retrieval_ratio=0.5,
+            generation_retrieval_ratio=0.1,
+            sort_fraction=sort_fraction,
+            clusters_considered=20,
+            wicsum_score_elements=320,
+            num_clusters=8,
+            mean_tokens_per_cluster=occupancy,
+            table_bytes=2048,
+        )
+
+    @staticmethod
+    def _idle_report(session_id=9):
+        from repro.model.serving import SessionReport
+
+        return SessionReport(
+            session_id=session_id,
+            frames_processed=0,
+            questions_asked=0,
+            tokens_generated=0,
+            cache_tokens=0,
+            cache_bytes=0,
+            frame_retrieval_ratio=1.0,
+            generation_retrieval_ratio=1.0,
+        )
+
+    def test_idle_stream_leaves_means_unchanged(self):
+        from repro.analysis import batch_summary
+
+        active = [self._active_report(0, 0.2, 16.0), self._active_report(1, 0.3, 24.0)]
+        with_idle = active + [self._idle_report()]
+        base = batch_summary(active)
+        extended = batch_summary(with_idle)
+        for key in (
+            "mean_frame_retrieval_ratio",
+            "mean_generation_retrieval_ratio",
+            "mean_sort_fraction",
+            "mean_tokens_per_cluster",
+        ):
+            assert extended[key] == pytest.approx(base[key]), key
+        assert extended["num_sessions"] == 3
+        assert base["mean_sort_fraction"] == pytest.approx(0.25)
+        assert base["mean_tokens_per_cluster"] == pytest.approx(20.0)
+
+    def test_mixed_no_data_streams_do_not_bias_down(self):
+        from repro.analysis import batch_summary
+
+        no_wicsum = self._active_report(2)
+        no_wicsum.sort_fraction = 0.0
+        no_wicsum.wicsum_score_elements = 0
+        no_wicsum.num_clusters = 0
+        no_wicsum.mean_tokens_per_cluster = 0.0
+        summary = batch_summary([self._active_report(0, 0.2, 16.0), no_wicsum])
+        assert summary["mean_sort_fraction"] == pytest.approx(0.2)
+        assert summary["mean_tokens_per_cluster"] == pytest.approx(16.0)
+
+    def test_all_idle_fleet_uses_defaults(self):
+        from repro.analysis import batch_summary
+
+        summary = batch_summary([self._idle_report(0), self._idle_report(1)])
+        assert summary["mean_frame_retrieval_ratio"] == 1.0
+        assert summary["mean_generation_retrieval_ratio"] == 1.0
+        assert summary["mean_sort_fraction"] == 0.0
+        assert summary["mean_tokens_per_cluster"] == 0.0
+
+    def test_stream_latency_table_formats_batched_rows(self):
+        from repro.analysis import format_stream_latency_table
+        from repro.sim.batched import BatchLatencyModel, StreamProfile
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        step = BatchLatencyModel().frame_step(
+            system, [StreamProfile(kv_len=40_000, session_id=i) for i in range(2)]
+        )
+        table = format_stream_latency_table(step.streams, title="fleet")
+        assert "fleet" in table and "PCIe wait ms" in table
+        assert len(table.splitlines()) == 5
+
+
 class TestBreakdownHelpers:
     def test_scenario_breakdowns_and_fractions(self):
         model = LatencyModel()

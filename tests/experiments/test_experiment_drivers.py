@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import (
+    batched_serving,
     fig04_motivation,
     fig13_latency_energy,
     fig14_e2e_breakdown,
@@ -104,6 +105,37 @@ class TestFig18:
         assert vrex.achieved_fraction > flexgen.achieved_fraction
         assert result.utilisation_gain("V-Rex8", "AGX + FlexGen") > 2.0
         assert flexgen.achieved_fraction < 0.2
+
+
+class TestBatchedServing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        system = edge_systems(default_llm_workload().model_bytes())["AGX + FlexGen"]
+        return batched_serving.run(system=system, stream_counts=(1, 2, 4))
+
+    def test_aligned_queueing_grows_with_fleet(self, result):
+        fetch = [result.aligned_exposed_fetch_ms[n] for n in result.stream_counts]
+        assert fetch == sorted(fetch)
+        assert fetch[-1] > fetch[0]
+
+    def test_staggering_recovers_queueing(self, result):
+        assert result.staggered_exposed_fetch_ms[4] < result.aligned_exposed_fetch_ms[4]
+        assert result.contention_penalty(4) > 1.0
+
+    def test_heterogeneous_rows_present(self, result):
+        assert len(result.mixed_cache_rows) == 4
+        assert len(result.mixed_retriever_rows) == 4
+        # the longest-cache stream pays the most exposed fetch
+        by_cache = sorted(result.mixed_cache_rows, key=lambda r: r["kv_len"])
+        assert by_cache[-1]["exposed_fetch_ms"] >= by_cache[0]["exposed_fetch_ms"]
+
+    def test_main_prints(self, capsys):
+        batched_serving.main()
+        out = capsys.readouterr().out
+        assert "Batched serving" in out and "mixed cache sizes" in out
 
 
 class TestTable03:

@@ -13,11 +13,11 @@ from repro.hw.dre.hcu import HCUModel, HCUWork
 from repro.hw.dre.kvmu import KVFetchWork, KVMUModel
 from repro.hw.dre.wtu import WTUModel, WTUWork
 from repro.hw.energy import EnergyModel, core_area_power, vrex_chip_area_mm2
-from repro.hw.event import Timeline
+from repro.hw.event import ResourceQueue, Timeline
 from repro.hw.gpu import GPUDevice, pcie_config_for
 from repro.hw.memory.dram import LPDDR5, DRAMModel
 from repro.hw.memory.hierarchy import HierarchicalKVManager
-from repro.hw.memory.pcie import PCIE3_X4, PCIE4_X16, PCIeLink
+from repro.hw.memory.pcie import PCIE3_X4, PCIE4_X16, PCIeLink, PCIeLinkQueue
 from repro.hw.memory.ssd import SSDModel
 from repro.hw.roofline import attainable_tflops, ridge_point, roofline_curve
 from repro.hw.specs import A100, AGX_ORIN, VREX8, VREX48, VRexCoreConfig, table_i_rows
@@ -279,6 +279,77 @@ class TestEnergyAndRoofline:
         assert len(intensities) == len(ceiling)
         assert ceiling.max() == pytest.approx(54.0)
         assert ridge_point(54.0, 204.8) == pytest.approx(54e12 / 204.8e9)
+
+
+class TestResourceQueues:
+    def test_fcfs_queueing_delay(self):
+        queue = ResourceQueue("link")
+        first = queue.enqueue(0.0, 2.0)
+        second = queue.enqueue(0.0, 2.0)
+        third = queue.enqueue(5.0, 1.0)
+        assert first.wait_s == 0.0 and first.finish_s == 2.0
+        assert second.start_s == 2.0 and second.wait_s == 2.0
+        assert third.wait_s == 0.0  # arrives after the server drained
+        assert queue.free_at_s == pytest.approx(6.0)
+        assert queue.busy_s() == pytest.approx(5.0)
+
+    def test_zero_service_passes_through(self):
+        queue = ResourceQueue()
+        queue.enqueue(0.0, 3.0)
+        empty = queue.enqueue(0.0, 0.0)
+        assert empty.wait_s == 0.0 and empty.finish_s == 0.0
+        assert queue.free_at_s == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            queue.enqueue(0.0, -1.0)
+
+    def test_reset(self):
+        queue = ResourceQueue()
+        queue.enqueue(0.0, 1.0)
+        queue.reset()
+        assert queue.free_at_s == 0.0 and queue.served == []
+
+    def test_pcie_link_queue_serializes_transfers(self):
+        link = PCIeLink(PCIE3_X4)
+        queue = PCIeLinkQueue(link)
+        service = link.transfer_time_s(1e9)
+        first = queue.enqueue_transfer(0.0, 1e9)
+        second = queue.enqueue_transfer(0.0, 1e9)
+        assert first.service_s == pytest.approx(service)
+        assert second.wait_s == pytest.approx(service)
+        assert second.sojourn_s == pytest.approx(2 * service)
+
+    def test_link_occupancy_plus_latency_is_transfer_time(self):
+        link = PCIeLink(PCIE4_X16)
+        total = link.transfer_time_s(5e8, efficiency=0.8)
+        occupancy = link.occupancy_s(5e8, efficiency=0.8)
+        assert total == pytest.approx(occupancy + PCIE4_X16.latency_us * 1e-6)
+        assert link.occupancy_s(0.0) == 0.0
+
+    def test_kvmu_stage_split_consistent(self):
+        kvmu = KVMUModel(PCIeLink(PCIE3_X4), SSDModel(), cluster_mapping=True)
+        work = KVFetchWork(total_bytes=64e6, mean_contiguous_bytes=4096.0, from_ssd=True)
+        assert kvmu.fetch_time_s(work) == pytest.approx(
+            max(kvmu.pcie_time_s(work), kvmu.ssd_time_s(work))
+        )
+        cpu_work = KVFetchWork(total_bytes=64e6, mean_contiguous_bytes=4096.0, from_ssd=False)
+        assert kvmu.ssd_time_s(cpu_work) == 0.0
+        assert kvmu.fetch_time_s(cpu_work) == pytest.approx(kvmu.pcie_time_s(cpu_work))
+
+    def test_ssd_occupancy_plus_latency_is_read_time(self):
+        ssd = SSDModel()
+        total = ssd.read_time_s(1e8, sequential_fraction=0.5)
+        occupancy = ssd.read_occupancy_s(1e8, sequential_fraction=0.5)
+        assert total == pytest.approx(occupancy + ssd.config.read_latency_us * 1e-6)
+
+    def test_accelerator_fetch_queue(self):
+        device = VRexAccelerator(VREX8)
+        queue = device.new_fetch_queue()
+        assert isinstance(queue, PCIeLinkQueue)
+        assert queue.link is device.link
+        work = KVFetchWork(total_bytes=1e7, mean_contiguous_bytes=8192.0, from_ssd=True)
+        assert device.fetch_time_s(work) == pytest.approx(
+            max(device.fetch_pcie_time_s(work), device.fetch_ssd_time_s(work))
+        )
 
 
 class TestTimeline:

@@ -163,6 +163,41 @@ class TestSessionBatch:
             assert 0.0 < report.frame_retrieval_ratio <= 1.0
             assert 0.0 < report.generation_retrieval_ratio <= 1.0
 
+    def test_generate_all_per_stream_counts(self, tiny_model, tiny_model_config, rng):
+        """Only streams that asked a question generate (and record) tokens."""
+        hidden = tiny_model_config.hidden_dim
+        batch = SessionBatch(
+            tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=3
+        )
+        batch.run_streams([_frames(rng, 2, 4, hidden)] * 3)
+        batch.ask_all([rng.normal(size=(2, hidden)), None, rng.normal(size=(2, hidden))])
+        outputs = batch.generate_all([3, None, 0])
+        assert outputs[0].shape == (3, hidden)
+        assert outputs[1] is None
+        assert outputs[2].shape == (0, hidden)
+        reports = batch.reports()
+        assert [r.tokens_generated for r in reports] == [3, 0, 0]
+        # the skipped streams' caches did not grow past their frames
+        assert batch.sessions[1].cache_length == 2 * 4
+        assert batch.sessions[2].cache_length == 2 * 4 + 2
+
+    def test_generate_all_scalar_unchanged(self, tiny_model, tiny_model_config, rng):
+        hidden = tiny_model_config.hidden_dim
+        batch = SessionBatch(
+            tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        batch.run_streams([_frames(rng, 2, 4, hidden)] * 2)
+        outputs = batch.generate_all(2)
+        assert all(out.shape == (2, hidden) for out in outputs)
+        assert [r.tokens_generated for r in batch.reports()] == [2, 2]
+
+    def test_generate_all_length_validation(self, tiny_model, tiny_model_config):
+        batch = SessionBatch(
+            tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        with pytest.raises(ValueError):
+            batch.generate_all([1])
+
     def test_baseline_retrievers_spawn_per_session(self, tiny_model, rng):
         batch = SessionBatch(tiny_model, retriever=make_rekv(), num_sessions=2)
         retrievers = [session.retriever for session in batch.sessions]

@@ -1,0 +1,320 @@
+"""Tests for the contention-aware batched performance plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.serving import SessionReport
+from repro.sim.batched import (
+    BatchLatencyModel,
+    StreamProfile,
+    aligned_arrivals,
+    profiles_from_reports,
+    staggered_arrivals,
+)
+from repro.sim.pipeline import LatencyModel, MeasuredRetrieval
+from repro.sim.systems import EARLY_EXIT_SORT_FRACTION, edge_systems, server_systems
+from repro.sim.workload import default_llm_workload
+
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def model_bytes() -> float:
+    return default_llm_workload().model_bytes()
+
+
+@pytest.fixture(scope="module")
+def edge(model_bytes):
+    return edge_systems(model_bytes)
+
+
+@pytest.fixture(scope="module")
+def plane() -> BatchLatencyModel:
+    return BatchLatencyModel()
+
+
+def _report(session_id=0, frames=4, questions=1, generated=2, cache=200, **overrides):
+    report = SessionReport(
+        session_id=session_id,
+        frames_processed=frames,
+        questions_asked=questions,
+        tokens_generated=generated,
+        cache_tokens=cache,
+        cache_bytes=cache * 64,
+        frame_retrieval_ratio=0.45,
+        generation_retrieval_ratio=0.06,
+        sort_fraction=0.21,
+        clusters_considered=40,
+        wicsum_score_elements=640,
+        num_clusters=12,
+        mean_tokens_per_cluster=16.5,
+        table_bytes=4096,
+    )
+    for key, value in overrides.items():
+        setattr(report, key, value)
+    return report
+
+
+class TestBatchedEquivalence:
+    """A homogeneous no-contention batch must reproduce ``batch=N`` exactly."""
+
+    @pytest.mark.parametrize("system_name", ["AGX + FlexGen", "AGX + InfiniGen", "AGX + ReKV", "V-Rex8"])
+    @pytest.mark.parametrize("kv_len", [1_000, 40_000])
+    @pytest.mark.parametrize("batch", [1, 3, 4])
+    def test_edge_steps_match_batch_n(self, plane, edge, system_name, kv_len, batch):
+        system = edge[system_name]
+        profiles = [StreamProfile(kv_len=kv_len) for _ in range(batch)]
+        base = plane.base
+        for batched, expected in (
+            (plane.frame_step(system, profiles, contention=False), base.frame_step(system, kv_len, batch)),
+            (plane.generation_step(system, profiles, contention=False), base.generation_step(system, kv_len, batch)),
+            (plane.question_step(system, profiles, contention=False), base.question_step(system, kv_len, batch)),
+        ):
+            assert batched.total_s == pytest.approx(expected.total_s, rel=REL_TOL)
+            assert batched.oom == expected.oom
+            assert batched.breakdown["kv_fetch"] == pytest.approx(
+                expected.breakdown["kv_fetch"], rel=REL_TOL, abs=1e-15
+            )
+            assert batched.breakdown["kv_prediction"] == pytest.approx(
+                expected.breakdown["kv_prediction"], rel=REL_TOL, abs=1e-15
+            )
+
+    def test_server_system_matches_batch_n(self, plane, model_bytes):
+        system = server_systems(model_bytes)["A100 + InfiniGenP"]
+        profiles = [StreamProfile(kv_len=40_000) for _ in range(8)]
+        expected = plane.base.frame_step(system, 40_000, 8)
+        batched = plane.frame_step(system, profiles, contention=False)
+        assert batched.total_s == pytest.approx(expected.total_s, rel=REL_TOL)
+
+    def test_calibrated_measured_matches_batch_n(self, edge):
+        measured = MeasuredRetrieval(sort_fraction=0.31, avg_tokens_per_cluster=11.0)
+        base = LatencyModel(measured=measured)
+        plane = BatchLatencyModel(base)
+        profiles = [StreamProfile(kv_len=40_000, measured=measured) for _ in range(4)]
+        expected = base.frame_step(edge["V-Rex8"], 40_000, 4)
+        batched = plane.frame_step(edge["V-Rex8"], profiles, contention=False)
+        assert batched.total_s == pytest.approx(expected.total_s, rel=REL_TOL)
+
+    def test_single_active_question_matches_single_stream(self, plane, edge):
+        """Skipped streams contribute nothing to a batched question step."""
+        system = edge["V-Rex8"]
+        profiles = [StreamProfile(kv_len=20_000), StreamProfile(kv_len=20_000, session_id=1)]
+        expected = plane.base.question_step(system, 20_000, 1)
+        batched = plane.question_step(
+            system, profiles, question_tokens=[25, None], contention=False
+        )
+        assert batched.total_s == pytest.approx(expected.total_s, rel=REL_TOL)
+        assert batched.streams[1].total_s == 0.0
+
+    def test_aggregated_streams_carry_exposed_shares(self, plane, edge):
+        """No-contention rows must expose fetch/prediction, not report 0."""
+        profiles = [StreamProfile(kv_len=40_000, session_id=i) for i in range(4)]
+        step = plane.frame_step(edge["V-Rex8"], profiles, contention=False)
+        assert step.breakdown["kv_fetch"] > 0.0
+        assert step.mean_exposed_fetch_s > 0.0
+        assert sum(s.exposed_fetch_s for s in step.streams) == pytest.approx(
+            step.breakdown["kv_fetch"]
+        )
+        assert sum(s.breakdown["kv_prediction"] for s in step.streams) == pytest.approx(
+            step.breakdown["kv_prediction"]
+        )
+
+    def test_numpy_integer_counts_accepted(self, plane, edge):
+        import numpy as np
+
+        system = edge["V-Rex8"]
+        profiles = [StreamProfile(kv_len=20_000)]
+        python_int = plane.question_step(system, profiles, question_tokens=25, contention=False)
+        numpy_int = plane.question_step(
+            system, profiles, question_tokens=np.int64(25), contention=False
+        )
+        assert numpy_int.total_s == pytest.approx(python_int.total_s, rel=REL_TOL)
+        estimates = plane.scenario_estimates(
+            system, profiles, frames=np.int64(3), answer_tokens=np.int64(2), contention=False
+        )
+        assert estimates[0].frames == 3 and estimates[0].answer_tokens == 2
+
+    def test_empty_fleet_rejected(self, plane, edge):
+        with pytest.raises(ValueError):
+            plane.frame_step(edge["V-Rex8"], [])
+
+    def test_question_length_validation(self, plane, edge):
+        with pytest.raises(ValueError):
+            plane.question_step(
+                edge["V-Rex8"], [StreamProfile(kv_len=1_000)], question_tokens=[25, 25]
+            )
+
+
+class TestContention:
+    def test_aligned_exposed_fetch_strictly_increases(self, plane, edge):
+        """Acceptance: more aligned streams -> more exposed fetch on the edge."""
+        system = edge["AGX + FlexGen"]
+        previous = None
+        for count in (1, 2, 3, 4):
+            step = plane.frame_step(
+                system, [StreamProfile(kv_len=40_000, session_id=i) for i in range(count)]
+            )
+            if previous is not None:
+                assert step.mean_exposed_fetch_s > previous
+            previous = step.mean_exposed_fetch_s
+
+    def test_staggered_arrivals_reduce_exposed_fetch(self, plane, edge):
+        system = edge["AGX + FlexGen"]
+        solo = plane.frame_step(system, [StreamProfile(kv_len=40_000)]).streams[0].total_s
+        aligned = plane.frame_step(
+            system,
+            [
+                StreamProfile(kv_len=40_000, arrival_offset_s=offset, session_id=i)
+                for i, offset in enumerate(aligned_arrivals(4))
+            ],
+        )
+        staggered = plane.frame_step(
+            system,
+            [
+                StreamProfile(kv_len=40_000, arrival_offset_s=offset, session_id=i)
+                for i, offset in enumerate(staggered_arrivals(4, solo))
+            ],
+        )
+        assert staggered.mean_exposed_fetch_s < aligned.mean_exposed_fetch_s
+        # fully staggered streams see no queueing at all
+        assert staggered.max_pcie_wait_s == 0.0
+        assert aligned.max_pcie_wait_s > 0.0
+
+    def test_vrex_queues_on_link_and_dre(self, plane, edge):
+        step = plane.frame_step(
+            edge["V-Rex8"], [StreamProfile(kv_len=40_000, session_id=i) for i in range(4)]
+        )
+        assert step.max_pcie_wait_s > 0.0
+        assert max(stream.dre_wait_s for stream in step.streams) > 0.0
+        # FCFS: later aligned streams wait at least as long on the link
+        waits = [stream.pcie_wait_s for stream in step.streams]
+        assert waits == sorted(waits)
+
+    def test_heterogeneous_caches_pay_heterogeneous_latency(self, plane, edge):
+        profiles = [
+            StreamProfile(kv_len=kv, session_id=i)
+            for i, kv in enumerate((10_000, 25_000, 40_000))
+        ]
+        step = plane.frame_step(edge["V-Rex8"], profiles)
+        totals = [stream.total_s for stream in step.streams]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_low_occupancy_stream_holds_link_longer(self, plane, edge):
+        """Worse measured occupancy -> worse link efficiency -> longer fetch."""
+        good = StreamProfile(
+            kv_len=40_000, measured=MeasuredRetrieval(avg_tokens_per_cluster=32.0)
+        )
+        poor = StreamProfile(
+            kv_len=40_000,
+            measured=MeasuredRetrieval(avg_tokens_per_cluster=4.0),
+            session_id=1,
+        )
+        step_good = plane.frame_step(edge["V-Rex8"], [good])
+        step_poor = plane.frame_step(edge["V-Rex8"], [poor])
+        assert (
+            step_poor.streams[0].breakdown["kv_fetch_raw"]
+            > step_good.streams[0].breakdown["kv_fetch_raw"]
+        )
+
+    @pytest.mark.parametrize("system_name", ["AGX + FlexGen", "V-Rex8", "AGX + InfiniGen"])
+    def test_schedule_independent_of_profile_list_order(self, plane, edge, system_name):
+        """The link serves FCFS in request time; list order must not matter."""
+        system = edge[system_name]
+        big = StreamProfile(kv_len=40_000, session_id=0)
+        small = StreamProfile(kv_len=20_000, session_id=1)
+        forward = {s.session_id: s for s in plane.frame_step(system, [big, small]).streams}
+        reverse = {s.session_id: s for s in plane.frame_step(system, [small, big]).streams}
+        for session_id in (0, 1):
+            assert forward[session_id].total_s == pytest.approx(
+                reverse[session_id].total_s, abs=1e-12
+            )
+            assert forward[session_id].pcie_wait_s == pytest.approx(
+                reverse[session_id].pcie_wait_s, abs=1e-12
+            )
+
+    def test_earlier_link_request_is_served_first(self, plane, edge):
+        """A short stream requesting the link earlier never waits behind a
+        longer stream whose request arrives later (the FCFS inversion bug)."""
+        system = edge["AGX + FlexGen"]
+        step = plane.frame_step(
+            system,
+            [StreamProfile(kv_len=40_000, session_id=0), StreamProfile(kv_len=20_000, session_id=1)],
+        )
+        by_id = {s.session_id: s for s in step.streams}
+        # the 20k stream's serial compute finishes first, so it gets the link first
+        assert by_id[1].pcie_wait_s == 0.0
+        assert by_id[0].pcie_wait_s > 0.0
+
+    def test_contended_makespan_at_least_single_stream(self, plane, edge):
+        solo = plane.frame_step(edge["AGX + FlexGen"], [StreamProfile(kv_len=40_000)])
+        fleet = plane.frame_step(
+            edge["AGX + FlexGen"],
+            [StreamProfile(kv_len=40_000, session_id=i) for i in range(4)],
+        )
+        assert fleet.total_s >= solo.total_s
+        assert fleet.batch == 4
+
+
+class TestProfiles:
+    def test_from_session_report_adopts_measured_statistics(self):
+        profile = StreamProfile.from_session_report(_report())
+        assert profile.kv_len == 200
+        assert profile.frame_ratio == pytest.approx(0.45)
+        assert profile.generation_ratio == pytest.approx(0.06)
+        assert profile.measured.sort_fraction == pytest.approx(0.21)
+        assert profile.measured.avg_tokens_per_cluster == pytest.approx(16.5)
+
+    def test_idle_report_keeps_policy_defaults(self):
+        idle = _report(
+            frames=0,
+            questions=0,
+            generated=0,
+            cache=0,
+            frame_retrieval_ratio=1.0,
+            generation_retrieval_ratio=1.0,
+            sort_fraction=0.0,
+            wicsum_score_elements=0,
+            num_clusters=0,
+            mean_tokens_per_cluster=0.0,
+        )
+        profile = StreamProfile.from_session_report(idle)
+        assert profile.frame_ratio is None
+        assert profile.generation_ratio is None
+        assert profile.measured.sort_fraction == EARLY_EXIT_SORT_FRACTION
+
+    def test_profiles_from_reports_offsets_and_projection(self):
+        reports = [_report(session_id=i, cache=100 * (i + 1)) for i in range(3)]
+        profiles = profiles_from_reports(
+            reports, arrival_offsets=(0.0, 0.1, 0.2), kv_lens=(10_000, 20_000, 30_000)
+        )
+        assert [p.kv_len for p in profiles] == [10_000, 20_000, 30_000]
+        assert [p.arrival_offset_s for p in profiles] == [0.0, 0.1, 0.2]
+        assert [p.session_id for p in profiles] == [0, 1, 2]
+        with pytest.raises(ValueError):
+            profiles_from_reports(reports, arrival_offsets=(0.0,))
+        with pytest.raises(ValueError):
+            profiles_from_reports(reports, kv_lens=(1_000,))
+
+
+class TestScenarioEstimates:
+    def test_zero_frames_zero_answers_prices_question_only(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = [StreamProfile(kv_len=20_000)]
+        estimates = plane.scenario_estimates(
+            system, profiles, frames=0, answer_tokens=0, contention=False
+        )
+        question = plane.question_step(system, profiles, contention=False)
+        assert estimates[0].vision_s == 0.0
+        assert estimates[0].generation_s == 0.0
+        assert estimates[0].total_s == pytest.approx(question.total_s, rel=REL_TOL)
+
+    def test_per_stream_counts(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = [StreamProfile(kv_len=20_000), StreamProfile(kv_len=20_000, session_id=1)]
+        estimates = plane.scenario_estimates(
+            system, profiles, frames=[10, 20], answer_tokens=[5, 0], contention=False
+        )
+        assert estimates[0].frames == 10 and estimates[1].frames == 20
+        assert estimates[1].generation_s == 0.0
+        assert estimates[1].vision_s == pytest.approx(2.0 * estimates[0].vision_s, rel=1e-6)

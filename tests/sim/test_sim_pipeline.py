@@ -234,6 +234,39 @@ class TestLatencyPipeline:
         assert {"QKV Gen", "Attention", "FFN", "KV Prediction", "KV Retrieval"} <= names
 
 
+class TestExplicitZeroStages:
+    """Explicit zeros must price empty stages, not fall back to defaults."""
+
+    def test_e2e_zero_frames_zero_answers_prices_question_only(self, latency_model, edge):
+        system = edge["V-Rex8"]
+        scenario = latency_model.e2e_scenario(system, 20_000, frames=0, answer_tokens=0)
+        question = latency_model.question_step(system, 20_000)
+        assert scenario.vision_s == 0.0
+        assert scenario.generation_s == 0.0
+        assert scenario.prefill_s == pytest.approx(question.total_s)
+        assert scenario.total_s == pytest.approx(question.total_s)
+
+    def test_e2e_zero_frames_differs_from_default(self, latency_model, edge):
+        system = edge["AGX + FlexGen"]
+        default = latency_model.e2e_scenario(system, 20_000)
+        no_frames = latency_model.e2e_scenario(system, 20_000, frames=0)
+        no_answer = latency_model.e2e_scenario(system, 20_000, answer_tokens=0)
+        assert no_frames.total_s < default.total_s
+        assert no_answer.total_s < default.total_s
+        assert no_answer.generation_s == 0.0
+
+    def test_question_step_zero_tokens_is_empty(self, latency_model, edge):
+        step = latency_model.question_step(edge["AGX + FlexGen"], 20_000, question_tokens=0)
+        assert step.total_s == 0.0
+        assert step.breakdown["kv_fetch_raw"] == 0.0
+        assert step.breakdown["kv_prediction_raw"] == 0.0
+
+    def test_question_step_default_unchanged(self, latency_model, edge):
+        explicit = latency_model.question_step(edge["AGX + FlexGen"], 20_000, question_tokens=25)
+        default = latency_model.question_step(edge["AGX + FlexGen"], 20_000)
+        assert default.total_s == pytest.approx(explicit.total_s)
+
+
 class TestRunner:
     def test_sweep_produces_all_records(self, workload):
         runner = ExperimentRunner()
