@@ -1,0 +1,123 @@
+"""Event-driven scheduler throughput and sweep cost.
+
+Measures two things and writes them to ``BENCH_scheduler.json``:
+
+* **event rate** — scheduler events processed per second (and jobs/sec)
+  while simulating Poisson-arrival fleets of 4/16/64 streams on the edge
+  V-Rex8 deployment — the inner loop every serving sweep pays per run;
+* **sweep time** — wall-clock seconds of one end-to-end
+  ``experiments.scheduled_serving`` sweep (all arrival patterns at all
+  load factors), the figure-level cost the CI smoke keeps bounded.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_scheduler.py [--smoke]
+
+``--smoke`` runs a seconds-scale subset with sanity assertions and skips
+the JSON write; CI uses it to keep the scheduler path exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.experiments import scheduled_serving  # noqa: E402
+from repro.sim.arrivals import PoissonArrivals, rate_for_load  # noqa: E402
+from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler  # noqa: E402
+from repro.sim.systems import edge_systems  # noqa: E402
+from repro.sim.workload import default_llm_workload  # noqa: E402
+
+
+def scheduler_event_rate(
+    num_streams: int, frames_per_stream: int, repeats: int, kv_len: int = 40_000
+) -> dict:
+    """Events/sec of the scheduler at a fleet size (Poisson arrivals)."""
+    system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    scheduler = ServingScheduler(
+        plane, SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=8)
+    )
+    traces = PoissonArrivals(
+        rate_hz=rate_for_load(0.7, solo, num_streams)
+    ).generate(num_streams, frames_per_stream, seed=0)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = scheduler.run(system, profiles, traces)
+    elapsed = time.perf_counter() - start
+    total_jobs = num_streams * frames_per_stream
+    return {
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "events_per_run": result.events_processed,
+        "events_per_s": result.events_processed * repeats / elapsed,
+        "jobs_per_s": total_jobs * repeats / elapsed,
+        "run_ms": elapsed / repeats * 1e3,
+        "fleet_p99_ms": result.fleet_summary().p99_ms,
+    }
+
+
+def sweep_time(smoke: bool) -> dict:
+    """End-to-end cost of one scheduled-serving sweep."""
+    kwargs = (
+        {"num_streams": 4, "frames_per_stream": 6, "load_factors": (0.7,)}
+        if smoke
+        else {}
+    )
+    start = time.perf_counter()
+    result = scheduled_serving.run(**kwargs)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_streams": result.num_streams,
+        "frames_per_stream": result.frames_per_stream,
+        "rows": len(result.rows),
+        "sweep_s": elapsed,
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    fleet_sizes = [(4, 12, 5)] if smoke else [(4, 40, 20), (16, 40, 10), (64, 40, 3)]
+    results: dict = {"scheduler": [], "sweep": None}
+    for num_streams, frames, repeats in fleet_sizes:
+        row = scheduler_event_rate(num_streams, frames, repeats)
+        results["scheduler"].append(row)
+        print(
+            f"scheduler {row['num_streams']} streams: "
+            f"{row['events_per_s']:,.0f} events/s, {row['jobs_per_s']:,.0f} jobs/s "
+            f"({row['run_ms']:.1f} ms/run, {row['events_per_run']} events)"
+        )
+    results["sweep"] = sweep_time(smoke)
+    print(
+        f"scheduled-serving sweep ({results['sweep']['rows']} rows): "
+        f"{results['sweep']['sweep_s']:.2f} s"
+    )
+    if smoke:
+        assert all(row["events_per_s"] > 0 for row in results["scheduler"])
+        assert all(row["events_per_run"] > 0 for row in results["scheduler"])
+        assert all(row["fleet_p99_ms"] > 0 for row in results["scheduler"])
+        assert results["sweep"]["rows"] > 0
+        print("smoke ok")
+    return results
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    results = run(smoke=smoke)
+    if not smoke:
+        output = REPO_ROOT / "BENCH_scheduler.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,12 @@ from repro.analysis.breakdown import (
     retrieval_overhead_fractions,
     scenario_breakdowns,
 )
+from repro.analysis.latency import (
+    deadline_miss_rate,
+    format_latency_summary_table,
+    format_schedule_record_table,
+    latency_percentiles,
+)
 from repro.analysis.metrics import (
     REAL_TIME_FPS,
     efficiency_gain,
@@ -27,8 +33,11 @@ __all__ = [
     "REAL_TIME_FPS",
     "StageBreakdown",
     "batch_summary",
+    "deadline_miss_rate",
     "efficiency_gain",
     "format_breakdown",
+    "format_latency_summary_table",
+    "format_schedule_record_table",
     "format_series",
     "format_session_table",
     "format_stream_latency_table",
@@ -36,6 +45,7 @@ __all__ = [
     "fps_from_latency_ms",
     "geometric_mean",
     "is_real_time",
+    "latency_percentiles",
     "pearson_correlation",
     "retrieval_overhead_fractions",
     "retrieval_ratio_spread",

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     fig18_roofline,
     fig19_resv_ablation,
     fig20_retrieval_ratio,
+    scheduled_serving,
     table02_accuracy,
     table03_area_power,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "fig18_roofline",
     "fig19_resv_ablation",
     "fig20_retrieval_ratio",
+    "scheduled_serving",
     "table02_accuracy",
     "table03_area_power",
 ]

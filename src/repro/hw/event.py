@@ -10,13 +10,24 @@ the latency-hiding claims.
 :class:`ResourceQueue` complements the timeline with a single-server FCFS
 queue: the batched performance plane pushes concurrent streams' KV-fetch
 transfers and DRE prediction jobs through one, so aligned arrivals expose
-the queueing delay a shared PCIe link or DRE inflicts.  The same primitive
-is the substrate a future event-driven serving scheduler can build on.
+the queueing delay a shared PCIe link or DRE inflicts.
+
+:class:`EventLoop` and :class:`ReleasableResource` extend that substrate
+for the event-driven serving scheduler (:mod:`repro.sim.scheduler`): the
+loop fires callbacks in deterministic ``(time, priority, key, insertion)``
+order — the tie-breaking that keeps a schedule a function of the fleet
+rather than of the caller's list order — and a releasable resource is a
+FCFS server whose hold times are not known at request time (a stream's
+pipeline slot stays held until the job's finish emerges from the shared
+DRE and PCIe queues).
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -85,6 +96,131 @@ class ResourceQueue:
     def busy_s(self) -> float:
         """Total service time the resource has delivered."""
         return sum(request.service_s for request in self.served)
+
+
+class EventLoop:
+    """A priority-queue event loop with deterministic tie-breaking.
+
+    Events fire in ``(time_s, priority, key, insertion order)`` order:
+    ``priority`` ranks event *kinds* at the same instant (completions
+    before admissions, say) and ``key`` breaks remaining ties between
+    peers (the scheduler uses ``(session_id, stream_index)`` so two
+    streams whose requests land at the same instant are served in a
+    fleet-determined order, never in list order).
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, tuple, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now_s = 0.0
+        self.events_processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self,
+        time_s: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        key: tuple = (),
+    ) -> None:
+        """Enqueue ``callback`` to fire at ``time_s``."""
+        if time_s < self.now_s:
+            raise ValueError(
+                f"cannot schedule an event at {time_s} before the current time {self.now_s}"
+            )
+        heapq.heappush(self._heap, (time_s, priority, key, self._seq, callback))
+        self._seq += 1
+
+    def run(self, until_s: float | None = None) -> int:
+        """Fire events in order; returns how many fired during this call.
+
+        ``until_s`` stops the loop *after* the last event at or before that
+        time (pending later events stay queued).
+        """
+        fired = 0
+        while self._heap:
+            if until_s is not None and self._heap[0][0] > until_s:
+                break
+            time_s, _priority, _key, _seq, callback = heapq.heappop(self._heap)
+            self.now_s = time_s
+            callback()
+            fired += 1
+            self.events_processed += 1
+        return fired
+
+
+@dataclass
+class ResourceGrant:
+    """One admission of a :class:`ReleasableResource`."""
+
+    arrival_s: float
+    start_s: float
+    release_s: float | None = None
+
+    @property
+    def wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def hold_s(self) -> float:
+        if self.release_s is None:
+            raise ValueError("resource grant has not been released yet")
+        return self.release_s - self.start_s
+
+
+class ReleasableResource:
+    """A FCFS single-holder resource with open-ended hold times.
+
+    Unlike :class:`ResourceQueue`, the service time need not be known when
+    a request is admitted: ``acquire`` grants the resource (immediately if
+    idle, else when the current holder releases) by invoking the caller's
+    callback with the grant, and the holder later calls ``release``.
+    The serving scheduler models each stream's pipeline slot this way —
+    a frame holds its stream until its finish time emerges from the shared
+    DRE and PCIe queues, and frames queued behind it start on release.
+    """
+
+    def __init__(self, name: str = "resource"):
+        self.name = name
+        self._holder: ResourceGrant | None = None
+        self._waiters: deque[tuple[float, Callable[[ResourceGrant], None]]] = deque()
+        self.grants: list[ResourceGrant] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting behind the current holder."""
+        return len(self._waiters)
+
+    def acquire(self, time_s: float, callback: Callable[[ResourceGrant], None]) -> None:
+        """Request the resource at ``time_s``; ``callback(grant)`` fires on grant."""
+        if self._holder is None:
+            grant = ResourceGrant(arrival_s=time_s, start_s=time_s)
+            self._holder = grant
+            self.grants.append(grant)
+            callback(grant)
+        else:
+            self._waiters.append((time_s, callback))
+
+    def release(self, time_s: float) -> None:
+        """Release the resource; the next waiter (if any) is granted at ``time_s``."""
+        if self._holder is None:
+            raise ValueError(f"resource {self.name!r} is not held")
+        if time_s < self._holder.start_s:
+            raise ValueError("cannot release a resource before its grant started")
+        self._holder.release_s = time_s
+        self._holder = None
+        if self._waiters:
+            arrival_s, callback = self._waiters.popleft()
+            grant = ResourceGrant(arrival_s=arrival_s, start_s=time_s)
+            self._holder = grant
+            self.grants.append(grant)
+            callback(grant)
 
 
 @dataclass(frozen=True)

@@ -162,6 +162,54 @@ class SessionBatch:
                 outputs.append(session.process_frame(frame, frame_id=frame_id))
         return outputs
 
+    def run_arrivals(
+        self,
+        streams: Sequence[Sequence[np.ndarray]],
+        arrivals: Sequence[Sequence[float]],
+    ) -> list[tuple[float, int, int]]:
+        """Process frames in global arrival order (arrival-aware stepping).
+
+        ``streams[i]`` holds stream ``i``'s frames and ``arrivals[i]`` the
+        matching nondecreasing arrival times — the traces
+        :mod:`repro.sim.arrivals` generates.  Instead of the round-robin
+        tick of :meth:`run_streams`, frames are prefilled one at a time in
+        nondecreasing arrival time (ties broken by stream index), the
+        admission order an event-driven scheduler would use; each stream
+        still sees its own frames in order.  Returns the processed
+        ``(arrival_time, stream_index, frame_index)`` schedule, which is
+        what the performance-plane scheduler consumes as ground truth.
+        """
+        if len(streams) != len(self.sessions):
+            raise ValueError(
+                f"expected one stream per session ({len(self.sessions)}), got {len(streams)}"
+            )
+        if len(arrivals) != len(self.sessions):
+            raise ValueError(
+                f"expected one arrival trace per session ({len(self.sessions)}), "
+                f"got {len(arrivals)}"
+            )
+        events: list[tuple[float, int, int]] = []
+        frame_lists = [list(frames) for frames in streams]
+        for stream_index, (frames, times) in enumerate(zip(frame_lists, arrivals)):
+            times = [float(t) for t in times]
+            if len(times) != len(frames):
+                raise ValueError(
+                    f"stream {stream_index} has {len(frames)} frames but "
+                    f"{len(times)} arrival times"
+                )
+            if any(later < earlier for earlier, later in zip(times, times[1:])):
+                raise ValueError(
+                    f"arrival trace of stream {stream_index} must be nondecreasing"
+                )
+            events.extend(
+                (time, stream_index, frame_index)
+                for frame_index, time in enumerate(times)
+            )
+        events.sort()
+        for _time, stream_index, frame_index in events:
+            self.sessions[stream_index].process_frame(frame_lists[stream_index][frame_index])
+        return events
+
     def run_streams(self, streams: Sequence[Iterable[np.ndarray]]) -> None:
         """Interleave whole videos round-robin until every stream is drained.
 

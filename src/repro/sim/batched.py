@@ -129,11 +129,15 @@ def _broadcast_per_stream(
 
 def aligned_arrivals(num_streams: int) -> list[float]:
     """All streams' frames arrive at the same instant (worst-case collision)."""
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be at least 1, got {num_streams}")
     return [0.0] * num_streams
 
 
 def staggered_arrivals(num_streams: int, spacing_s: float) -> list[float]:
     """Frame arrivals spread ``spacing_s`` apart (admission-controlled phase)."""
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be at least 1, got {num_streams}")
     if spacing_s < 0:
         raise ValueError("spacing_s must be non-negative")
     return [index * spacing_s for index in range(num_streams)]
@@ -151,6 +155,8 @@ def profiles_from_reports(
     plane runs a toy model whose caches are a few hundred tokens).
     """
     reports = list(reports)
+    if not reports:
+        return []
     if arrival_offsets is None:
         arrival_offsets = aligned_arrivals(len(reports))
     if len(arrival_offsets) != len(reports):
@@ -285,6 +291,96 @@ class _StreamDemand:
     fetch_service_s: float = 0.0  # full per-layer fetch (incl. link/SSD latency)
     pcie_occupancy_s: float = 0.0  # bytes-on-the-wire time, no request latency
     ssd_occupancy_s: float = 0.0  # SSD media time, no access latency
+
+
+def contended_issue_timing(
+    *,
+    is_vrex: bool,
+    overlaps: bool,
+    on_dre: bool,
+    start_s: float,
+    compute_s: float,
+    prediction_s: float,
+    fetch_s: float,
+    dre_queue: ResourceQueue,
+) -> dict:
+    """Phase-1 timing of one stream's contended step (through the DRE).
+
+    Returns the timing dict the contended plane and the event-driven
+    scheduler share: prediction end (after any DRE queueing), the time the
+    stream requests the shared PCIe link, and the DRE wait.  ``start_s`` is
+    when the stream's LLM phase begins (arrival plus vision); the DRE is
+    requested at that instant, so enqueueing streams in nondecreasing
+    ``start_s`` order IS the DRE's FCFS order.
+    """
+    dre_wait = 0.0
+    if is_vrex:
+        # Prediction runs on the shared DRE; the fetch it unlocks requests
+        # the link when the prediction completes.
+        if on_dre and prediction_s > 0:
+            served = dre_queue.enqueue(start_s, prediction_s)
+            dre_wait = served.wait_s
+            prediction_end = served.finish_s
+        else:
+            prediction_end = start_s + prediction_s
+        request = prediction_end
+    elif overlaps:
+        # GPU: prediction kernels compete with the LLM kernels for the same
+        # SMs (serial per stream); the prefetch overlaps compute but must
+        # win the shared link first.
+        prediction_end = start_s + prediction_s
+        request = prediction_end
+    else:
+        # FlexGen-style serial load-then-compute prefill requests the link
+        # only after its compute finishes.
+        prediction_end = start_s + prediction_s
+        request = start_s + prediction_s + compute_s
+    return {
+        "start": start_s,
+        "compute_s": compute_s,
+        "prediction_s": prediction_s,
+        "prediction_end": prediction_end,
+        "fetch_s": fetch_s,
+        "request": request,
+        "dre_wait": dre_wait,
+    }
+
+
+def contended_exposure(
+    *, is_vrex: bool, overlaps: bool, timing: dict, transfer
+) -> tuple[float, float, float]:
+    """Phase-3 of a contended step: per-stream latency under the overlap rules.
+
+    ``transfer`` is the stream's :class:`~repro.hw.event.QueuedService` on
+    the shared link (``None`` when the stream fetched nothing).  Returns
+    ``(latency_s, exposed_prediction_s, exposed_fetch_s)`` where the
+    latency is measured from ``timing["start"]``.  Shared by
+    :meth:`BatchLatencyModel._contended_step` and the event-driven
+    scheduler so the two agree to the last bit.
+    """
+    start = timing["start"]
+    compute_s = timing["compute_s"]
+    prediction_s = timing["prediction_s"]
+    fetch_end = transfer.finish_s if transfer is not None else timing["request"]
+    if is_vrex:
+        # Prediction and fetch (with their waits) overlap this stream's own
+        # compute (Fig. 5 iii); only the excess beyond compute is exposed.
+        hidden_end = fetch_end if transfer is not None else timing["prediction_end"]
+        hidden = hidden_end - start
+        prediction_effective = timing["prediction_end"] - start
+        latency = max(compute_s, hidden)
+        exposed_prediction = max(0.0, min(prediction_effective, hidden - compute_s))
+        exposed_fetch = max(0.0, hidden - compute_s - exposed_prediction)
+    elif overlaps:
+        fetch_effective = fetch_end - timing["request"] if transfer is not None else 0.0
+        latency = prediction_s + max(compute_s, fetch_effective)
+        exposed_prediction = prediction_s
+        exposed_fetch = max(0.0, fetch_effective - compute_s)
+    else:
+        exposed_fetch = fetch_end - timing["request"] if transfer is not None else 0.0
+        latency = prediction_s + compute_s + exposed_fetch
+        exposed_prediction = prediction_s
+    return latency, exposed_prediction, exposed_fetch
 
 
 class BatchLatencyModel:
@@ -664,41 +760,16 @@ class BatchLatencyModel:
             demand = demands[index]
             if not demand.active:
                 continue
-            start = demand.profile.arrival_offset_s + vision_each
-            compute_s = device.dense_time_s(demand.compute_cost) * num_layers
-            prediction_s = base._price_prediction_parts(system, demand.parts) * num_layers
-            fetch_s = demand.fetch_service_s * num_layers
-            dre_wait = 0.0
-            if is_vrex:
-                # Prediction runs on the shared DRE; the fetch it unlocks
-                # requests the link when the prediction completes.
-                if demand.parts is not None and demand.parts.on_dre and prediction_s > 0:
-                    served = dre_queue.enqueue(start, prediction_s)
-                    dre_wait = served.wait_s
-                    prediction_end = served.finish_s
-                else:
-                    prediction_end = start + prediction_s
-                request = prediction_end
-            elif overlaps:
-                # GPU: prediction kernels compete with the LLM kernels for
-                # the same SMs (serial per stream); the prefetch overlaps
-                # compute but must win the shared link first.
-                prediction_end = start + prediction_s
-                request = prediction_end
-            else:
-                # FlexGen-style serial load-then-compute prefill requests
-                # the link only after its compute finishes.
-                prediction_end = start + prediction_s
-                request = start + prediction_s + compute_s
-            timings[index] = {
-                "start": start,
-                "compute_s": compute_s,
-                "prediction_s": prediction_s,
-                "prediction_end": prediction_end,
-                "fetch_s": fetch_s,
-                "request": request,
-                "dre_wait": dre_wait,
-            }
+            timings[index] = contended_issue_timing(
+                is_vrex=is_vrex,
+                overlaps=overlaps,
+                on_dre=demand.parts is not None and demand.parts.on_dre,
+                start_s=demand.profile.arrival_offset_s + vision_each,
+                compute_s=device.dense_time_s(demand.compute_cost) * num_layers,
+                prediction_s=base._price_prediction_parts(system, demand.parts) * num_layers,
+                fetch_s=demand.fetch_service_s * num_layers,
+                dre_queue=dre_queue,
+            )
 
         # Phase 2 — the shared link serves transfers FCFS in *request-time*
         # order (which differs from arrival order when per-stream prediction
@@ -739,33 +810,15 @@ class BatchLatencyModel:
                     )
                 )
                 continue
-            start = timing["start"]
             compute_s = timing["compute_s"]
             prediction_s = timing["prediction_s"]
             fetch_s = timing["fetch_s"]
             dre_wait = timing["dre_wait"]
             transfer = transfers.get(index)
             pcie_wait = transfer.wait_s if transfer is not None else 0.0
-            fetch_end = transfer.finish_s if transfer is not None else timing["request"]
-            if is_vrex:
-                # Prediction and fetch (with their waits) overlap this
-                # stream's own compute (Fig. 5 iii); only the excess beyond
-                # compute is exposed.
-                hidden_end = fetch_end if transfer is not None else timing["prediction_end"]
-                hidden = hidden_end - start
-                prediction_effective = timing["prediction_end"] - start
-                latency = max(compute_s, hidden)
-                exposed_prediction = max(0.0, min(prediction_effective, hidden - compute_s))
-                exposed_fetch = max(0.0, hidden - compute_s - exposed_prediction)
-            elif overlaps:
-                fetch_effective = fetch_end - timing["request"] if transfer is not None else 0.0
-                latency = prediction_s + max(compute_s, fetch_effective)
-                exposed_prediction = prediction_s
-                exposed_fetch = max(0.0, fetch_effective - compute_s)
-            else:
-                exposed_fetch = fetch_end - timing["request"] if transfer is not None else 0.0
-                latency = prediction_s + compute_s + exposed_fetch
-                exposed_prediction = prediction_s
+            latency, exposed_prediction, exposed_fetch = contended_exposure(
+                is_vrex=is_vrex, overlaps=overlaps, timing=timing, transfer=transfer
+            )
             rows.append(
                 StreamStepResult(
                     session_id=profile.session_id,

@@ -1,0 +1,614 @@
+"""Event-driven serving scheduler over the shared PCIe link and DRE.
+
+:class:`repro.sim.batched.BatchLatencyModel` prices *one* serving tick at
+fixed arrival offsets — every stream steps in lockstep, and the makespan of
+that single step is the only latency it can report.  A serving deployment
+does not tick: frames arrive as stochastic per-stream processes
+(:mod:`repro.sim.arrivals`), a stream whose previous frame is still in
+flight queues its next one, questions land mid-stream, and the operator
+cares about the *distribution* of per-frame latency (p50/p95/p99, deadline
+misses), not a single makespan.
+
+:class:`ServingScheduler` replaces the lockstep step with an event loop
+(:class:`repro.hw.event.EventLoop`):
+
+* every stream's frames/questions/generation tokens are **jobs**; a
+  stream's jobs are serialized on its own pipeline slot
+  (:class:`repro.hw.event.ReleasableResource` — a frame holds the stream
+  until its finish time emerges from the shared queues, later frames wait
+  behind it);
+* each job's demands are priced once per stream and stage via
+  :meth:`BatchLatencyModel._stream_demand` — exactly the pricing the
+  contended batched plane uses;
+* ReSV prediction jobs serialize FCFS on the shared DRE and KV-fetch
+  transfers on the shared PCIe link
+  (:class:`repro.hw.memory.pcie.PCIeLinkQueue`), through the *same*
+  :func:`repro.sim.batched.contended_issue_timing` /
+  :func:`repro.sim.batched.contended_exposure` helpers as
+  :meth:`BatchLatencyModel._contended_step` — so in the degenerate
+  configuration (every stream's single frame arrives at its profile
+  offset, no admission control) the scheduler reproduces the contended
+  batched step *bit for bit*;
+* **admission control** drops frames when a stream's backlog exceeds
+  ``max_queue_depth`` (upload throttling) or, with ``drop_late``, when a
+  frame's deadline already passed before it reached the head of its
+  stream's queue;
+* every run records a full :class:`repro.hw.event.Timeline` (per-stream
+  compute lanes plus the shared ``dre`` and ``pcie`` resources) and a
+  :class:`JobRecord` per job, from which :class:`ScheduleResult` reports
+  exact per-stream and fleet sojourn-time percentiles and deadline-miss
+  rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hw.accelerator import VRexAccelerator
+from repro.hw.event import EventLoop, ReleasableResource, ResourceQueue, Timeline
+from repro.hw.memory.pcie import PCIeLinkQueue
+from repro.sim.batched import (
+    BatchLatencyModel,
+    StreamProfile,
+    _broadcast_per_stream,
+    contended_exposure,
+    contended_issue_timing,
+)
+from repro.sim.pipeline import FRAME_STAGE, GENERATION_STAGE
+from repro.sim.systems import SystemConfig
+
+FRAME_JOB = "frame"
+QUESTION_JOB = "question"
+GENERATION_JOB = "generation"
+
+#: Event priorities at equal times: completions release stream slots before
+#: new arrivals are admitted; all phase-1 issues (DRE requests) precede
+#: phase-2 link requests, mirroring the batched plane's phase order.
+_PRIO_COMPLETE = 0
+_PRIO_ARRIVAL = 1
+_PRIO_ISSUE = 2
+_PRIO_LINK = 3
+
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Deadline and admission-control policy of a scheduler run.
+
+    ``deadline_s`` is the per-job latency budget measured from arrival;
+    ``max_queue_depth`` bounds a stream's backlog (arrivals beyond it are
+    dropped at admission); ``drop_late`` additionally drops a job whose
+    deadline has already passed when it reaches the head of its stream's
+    queue (no point serving a frame the user has scrolled past).
+    """
+
+    deadline_s: float | None = None
+    max_queue_depth: int | None = None
+    drop_late: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be non-negative, got {self.max_queue_depth}"
+            )
+        if self.drop_late and self.deadline_s is None:
+            raise ValueError("drop_late requires a deadline_s")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One scheduled (or dropped) unit of work."""
+
+    stream_index: int
+    session_id: int
+    kind: str
+    job_index: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    dropped: bool = False
+    deadline_missed: bool = False
+    pcie_wait_s: float = 0.0
+    dre_wait_s: float = 0.0
+
+    @property
+    def sojourn_s(self) -> float:
+        """Arrival-to-finish latency (the quantity percentiles report)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent waiting for the stream's own pipeline slot."""
+        return self.start_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Sojourn-time distribution of one stream (or the whole fleet)."""
+
+    scope: str
+    jobs: int
+    served: int
+    dropped: int
+    percentiles_ms: dict[str, float]
+    mean_ms: float
+    max_ms: float
+    deadline_miss_rate: float
+    drop_rate: float
+    stream_index: int | None = None
+    session_id: int | None = None
+
+    def percentile_ms(self, q: float) -> float:
+        return self.percentiles_ms[f"p{q:g}"]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+
+def _summarize(
+    scope: str,
+    records: list[JobRecord],
+    percentiles: Sequence[float],
+    stream_index: int | None = None,
+    session_id: int | None = None,
+) -> LatencySummary:
+    served = [r for r in records if not r.dropped]
+    sojourns = np.asarray([r.sojourn_s for r in served], dtype=float)
+    if sojourns.size:
+        pct = {
+            f"p{q:g}": float(np.percentile(sojourns, q)) * 1e3 for q in percentiles
+        }
+        mean_ms = float(sojourns.mean()) * 1e3
+        max_ms = float(sojourns.max()) * 1e3
+    else:
+        pct = {f"p{q:g}": float("nan") for q in percentiles}
+        mean_ms = max_ms = float("nan")
+    missed = sum(1 for r in served if r.deadline_missed)
+    return LatencySummary(
+        scope=scope,
+        jobs=len(records),
+        served=len(served),
+        dropped=len(records) - len(served),
+        percentiles_ms=pct,
+        mean_ms=mean_ms,
+        max_ms=max_ms,
+        deadline_miss_rate=missed / len(served) if served else 0.0,
+        drop_rate=(len(records) - len(served)) / len(records) if records else 0.0,
+        stream_index=stream_index,
+        session_id=session_id,
+    )
+
+
+@dataclass
+class ScheduleResult:
+    """Everything one scheduler run produced."""
+
+    system: str
+    config: SchedulerConfig
+    num_streams: int
+    records: list[JobRecord] = field(default_factory=list)
+    timeline: Timeline = field(default_factory=Timeline)
+    events_processed: int = 0
+    oom: bool = False
+
+    def jobs(
+        self, stream_index: int | None = None, kind: str | None = None
+    ) -> list[JobRecord]:
+        """Records filtered by stream and/or job kind (dropped included)."""
+        return [
+            r
+            for r in self.records
+            if (stream_index is None or r.stream_index == stream_index)
+            and (kind is None or r.kind == kind)
+        ]
+
+    def sojourn_times_s(
+        self, stream_index: int | None = None, kind: str | None = None
+    ) -> list[float]:
+        """Served jobs' arrival-to-finish latencies."""
+        return [
+            r.sojourn_s
+            for r in self.jobs(stream_index, kind)
+            if not r.dropped
+        ]
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.records if not r.dropped)
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last finish across served jobs."""
+        served = [r for r in self.records if not r.dropped]
+        if not served:
+            return 0.0
+        return max(r.finish_s for r in served) - min(r.arrival_s for r in served)
+
+    def stream_summaries(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES, kind: str | None = None
+    ) -> list[LatencySummary]:
+        """One sojourn-time distribution summary per stream."""
+        summaries = []
+        for stream in range(self.num_streams):
+            records = self.jobs(stream, kind)
+            session_id = records[0].session_id if records else None
+            summaries.append(
+                _summarize(
+                    f"stream {stream}",
+                    records,
+                    percentiles,
+                    stream_index=stream,
+                    session_id=session_id,
+                )
+            )
+        return summaries
+
+    def fleet_summary(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES, kind: str | None = None
+    ) -> LatencySummary:
+        """Sojourn-time distribution over every stream's served jobs."""
+        return _summarize("fleet", self.jobs(kind=kind), percentiles)
+
+
+@dataclass
+class _PricedStage:
+    """One stream's per-job demands for one job kind, priced once."""
+
+    active: bool
+    on_dre: bool
+    overlaps: bool
+    vision_s: float
+    compute_s: float
+    prediction_s: float
+    fetch_s: float
+
+
+class _Job:
+    """Mutable in-flight state of one unit of work."""
+
+    __slots__ = (
+        "stream",
+        "kind",
+        "index",
+        "arrival_s",
+        "start_s",
+        "timing",
+        "pcie_wait_s",
+        "remaining",
+        "key",
+    )
+
+    def __init__(self, stream: int, kind: str, index: int, arrival_s: float, key: tuple):
+        self.stream = stream
+        self.kind = kind
+        self.index = index
+        self.arrival_s = arrival_s
+        self.start_s = arrival_s
+        self.timing: dict | None = None
+        self.pcie_wait_s = 0.0
+        self.remaining = 0
+        self.key = key
+
+
+class ServingScheduler:
+    """Schedules stochastic per-stream arrivals onto one shared system.
+
+    Wraps a :class:`BatchLatencyModel` for demand pricing; the scheduler
+    itself owns only the event-time mechanics (stream slots, shared-queue
+    FCFS order, deadlines, admission control).
+    """
+
+    def __init__(
+        self,
+        plane: BatchLatencyModel | None = None,
+        config: SchedulerConfig | None = None,
+    ):
+        self.plane = plane or BatchLatencyModel()
+        self.config = config or SchedulerConfig()
+
+    # ------------------------------------------------------------------ #
+    # validation helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validated_traces(
+        frame_arrivals, num_streams: int
+    ) -> list[np.ndarray]:
+        traces = [np.asarray(trace, dtype=float) for trace in frame_arrivals]
+        if len(traces) != num_streams:
+            raise ValueError(
+                f"expected one arrival trace per stream ({num_streams}), got {len(traces)}"
+            )
+        for stream, trace in enumerate(traces):
+            if trace.ndim != 1:
+                raise ValueError(f"arrival trace of stream {stream} must be 1-D")
+            if trace.size == 0:
+                continue
+            if trace[0] < 0:
+                raise ValueError(
+                    f"arrival trace of stream {stream} contains a negative time"
+                )
+            if np.any(np.diff(trace) < 0):
+                raise ValueError(
+                    f"arrival trace of stream {stream} must be nondecreasing"
+                )
+        return traces
+
+    # ------------------------------------------------------------------ #
+    # the run
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        frame_arrivals: Sequence[Sequence[float]],
+        question_arrivals: Sequence[float | None] | None = None,
+        question_tokens: int | Sequence[int | None] | None = None,
+        answer_tokens: int | Sequence[int] | None = None,
+    ) -> ScheduleResult:
+        """Simulate a fleet's serving run and return its full schedule.
+
+        ``frame_arrivals[i]`` is stream ``i``'s frame arrival-time trace
+        (:mod:`repro.sim.arrivals` generates these; the profiles'
+        ``arrival_offset_s`` is ignored — the traces carry the phases).
+        ``question_arrivals[i]`` (optional, ``None`` entry = no question)
+        schedules one question prefill per stream; a stream's
+        ``answer_tokens`` generation jobs chain autoregressively after its
+        question completes, interleaving with any queued frames.
+        """
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("the scheduler needs at least one stream profile")
+        num_streams = len(profiles)
+        traces = self._validated_traces(frame_arrivals, num_streams)
+
+        if question_arrivals is None:
+            question_arrivals = [None] * num_streams
+        else:
+            question_arrivals = list(question_arrivals)
+            if len(question_arrivals) != num_streams:
+                raise ValueError(
+                    f"expected one question arrival per stream ({num_streams}), "
+                    f"got {len(question_arrivals)}"
+                )
+            for stream, at in enumerate(question_arrivals):
+                if at is not None and at < 0:
+                    raise ValueError(
+                        f"question arrival of stream {stream} must be non-negative"
+                    )
+        if question_tokens is None:
+            q_tokens: list[int | None] = [
+                self.plane.base.streaming.question_tokens
+            ] * num_streams
+        else:
+            q_tokens = _broadcast_per_stream(
+                question_tokens, num_streams, "question_tokens", allow_none_entries=True
+            )
+        answers = self.plane._per_stream_counts(
+            answer_tokens, 0, num_streams, "answer_tokens"
+        )
+        for stream, count in enumerate(answers):
+            if count < 0:
+                raise ValueError(f"answer_tokens of stream {stream} must be non-negative")
+            if count > 0 and question_arrivals[stream] is None:
+                raise ValueError(
+                    f"stream {stream} has answer_tokens but no question arrival"
+                )
+
+        base = self.plane.base
+        device = base.device_for(system)
+        is_vrex = isinstance(device, VRexAccelerator)
+        num_layers = base.llm.model.num_layers
+        vision_each = base._vision_time(system, 1)[0]
+        frame_overlaps = system.policy.overlap_fetch  # FRAME_STAGE rule
+
+        def price(profile: StreamProfile, q_len: int | None, stage: str, vision_s: float, overlaps: bool) -> _PricedStage:
+            demand = self.plane._stream_demand(system, profile, q_len, stage)
+            if not demand.active:
+                return _PricedStage(False, False, overlaps, 0.0, 0.0, 0.0, 0.0)
+            return _PricedStage(
+                active=True,
+                on_dre=demand.parts is not None and demand.parts.on_dre,
+                overlaps=overlaps,
+                vision_s=vision_s,
+                compute_s=device.dense_time_s(demand.compute_cost) * num_layers,
+                prediction_s=base._price_prediction_parts(system, demand.parts)
+                * num_layers,
+                fetch_s=demand.fetch_service_s * num_layers,
+            )
+
+        priced: list[dict[str, _PricedStage]] = []
+        for stream, profile in enumerate(profiles):
+            stages = {
+                FRAME_JOB: price(
+                    profile,
+                    base.llm.model.tokens_per_frame,
+                    FRAME_STAGE,
+                    vision_each,
+                    frame_overlaps,
+                ),
+                QUESTION_JOB: price(
+                    profile, q_tokens[stream], FRAME_STAGE, 0.0, frame_overlaps
+                ),
+                GENERATION_JOB: price(profile, 1, GENERATION_STAGE, 0.0, True),
+            }
+            priced.append(stages)
+
+        cfg = self.config
+        loop = EventLoop()
+        dre = ResourceQueue("dre")
+        link = PCIeLinkQueue(device.link)
+        slots = [ReleasableResource(f"stream{stream}") for stream in range(num_streams)]
+        timeline = Timeline()
+        records: list[JobRecord] = []
+
+        def record(job: _Job, finish_s: float, dropped: bool) -> None:
+            sojourn = finish_s - job.arrival_s
+            records.append(
+                JobRecord(
+                    stream_index=job.stream,
+                    session_id=profiles[job.stream].session_id,
+                    kind=job.kind,
+                    job_index=job.index,
+                    arrival_s=job.arrival_s,
+                    start_s=job.start_s,
+                    finish_s=finish_s,
+                    dropped=dropped,
+                    deadline_missed=(
+                        not dropped
+                        and cfg.deadline_s is not None
+                        and sojourn > cfg.deadline_s
+                    ),
+                    pcie_wait_s=job.pcie_wait_s,
+                    dre_wait_s=job.timing["dre_wait"] if job.timing else 0.0,
+                )
+            )
+
+        def submit(job: _Job) -> None:
+            slot = slots[job.stream]
+            if (
+                cfg.max_queue_depth is not None
+                and slot.busy
+                and slot.queue_depth >= cfg.max_queue_depth
+            ):
+                record(job, job.arrival_s, dropped=True)
+                return
+            slot.acquire(loop.now_s, lambda grant, job=job: begin(job, grant.start_s))
+
+        def begin(job: _Job, start_s: float) -> None:
+            job.start_s = start_s
+            if (
+                cfg.drop_late
+                and cfg.deadline_s is not None
+                and start_s - job.arrival_s > cfg.deadline_s
+            ):
+                record(job, start_s, dropped=True)
+                slots[job.stream].release(start_s)
+                return
+            stage = priced[job.stream][job.kind]
+            if not stage.active:
+                finish(job, start_s)
+                return
+            loop.schedule(
+                start_s + stage.vision_s,
+                lambda job=job: issue(job),
+                priority=_PRIO_ISSUE,
+                key=job.key,
+            )
+
+        def issue(job: _Job) -> None:
+            stage = priced[job.stream][job.kind]
+            timing = contended_issue_timing(
+                is_vrex=is_vrex,
+                overlaps=stage.overlaps,
+                on_dre=stage.on_dre,
+                start_s=loop.now_s,
+                compute_s=stage.compute_s,
+                prediction_s=stage.prediction_s,
+                fetch_s=stage.fetch_s,
+                dre_queue=dre,
+            )
+            job.timing = timing
+            name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
+            if stage.vision_s > 0:
+                timeline.add(name, f"vision:s{job.stream}", job.start_s, stage.vision_s)
+            if stage.compute_s > 0:
+                timeline.add(name, f"compute:s{job.stream}", timing["start"], stage.compute_s)
+            if stage.on_dre and stage.prediction_s > 0:
+                timeline.add(
+                    name, "dre", timing["start"] + timing["dre_wait"], stage.prediction_s
+                )
+            if stage.fetch_s > 0:
+                loop.schedule(
+                    timing["request"],
+                    lambda job=job: request_link(job),
+                    priority=_PRIO_LINK,
+                    key=job.key,
+                )
+            else:
+                resolve(job, None)
+
+        def request_link(job: _Job) -> None:
+            transfer = link.enqueue(loop.now_s, job.timing["fetch_s"])
+            job.pcie_wait_s = transfer.wait_s
+            name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
+            timeline.add(name, "pcie", transfer.start_s, transfer.service_s)
+            resolve(job, transfer)
+
+        def resolve(job: _Job, transfer) -> None:
+            stage = priced[job.stream][job.kind]
+            latency, _, _ = contended_exposure(
+                is_vrex=is_vrex,
+                overlaps=stage.overlaps,
+                timing=job.timing,
+                transfer=transfer,
+            )
+            finish_s = job.timing["start"] + latency
+            loop.schedule(
+                finish_s,
+                lambda job=job, finish_s=finish_s: finish(job, finish_s),
+                priority=_PRIO_COMPLETE,
+                key=job.key,
+            )
+
+        def finish(job: _Job, finish_s: float) -> None:
+            record(job, finish_s, dropped=False)
+            slots[job.stream].release(finish_s)
+            if job.kind == QUESTION_JOB and answers[job.stream] > 0:
+                chain = _Job(job.stream, GENERATION_JOB, 0, finish_s, job.key)
+                chain.remaining = answers[job.stream] - 1
+                submit(chain)
+            elif job.kind == GENERATION_JOB and job.remaining > 0:
+                chain = _Job(job.stream, GENERATION_JOB, job.index + 1, finish_s, job.key)
+                chain.remaining = job.remaining - 1
+                submit(chain)
+
+        for stream, trace in enumerate(traces):
+            key = (profiles[stream].session_id, stream)
+            for frame_index, arrival in enumerate(trace):
+                job = _Job(stream, FRAME_JOB, frame_index, float(arrival), key)
+                loop.schedule(
+                    float(arrival),
+                    lambda job=job: submit(job),
+                    priority=_PRIO_ARRIVAL,
+                    key=key,
+                )
+            at = question_arrivals[stream]
+            if at is not None:
+                job = _Job(stream, QUESTION_JOB, 0, float(at), key)
+                loop.schedule(
+                    float(at),
+                    lambda job=job: submit(job),
+                    priority=_PRIO_ARRIVAL,
+                    key=key,
+                )
+        loop.run()
+
+        result = ScheduleResult(
+            system=system.name,
+            config=cfg,
+            num_streams=num_streams,
+            records=sorted(records, key=lambda r: (r.finish_s, r.stream_index, r.job_index)),
+            timeline=timeline,
+            events_processed=loop.events_processed,
+            oom=self.plane._batched_oom(system, profiles),
+        )
+        return result

@@ -6,6 +6,12 @@ import numpy as np
 import pytest
 
 from repro.analysis.breakdown import StageBreakdown, retrieval_overhead_fractions, scenario_breakdowns
+from repro.analysis.latency import (
+    deadline_miss_rate,
+    format_latency_summary_table,
+    format_schedule_record_table,
+    latency_percentiles,
+)
 from repro.analysis.metrics import (
     efficiency_gain,
     fps_from_latency_ms,
@@ -157,6 +163,44 @@ class TestBatchSummaryGating:
         table = format_stream_latency_table(step.streams, title="fleet")
         assert "fleet" in table and "PCIe wait ms" in table
         assert len(table.splitlines()) == 5
+
+
+class TestLatencyReporting:
+    def test_percentiles_are_exact_order_statistics(self):
+        values = [0.010, 0.020, 0.030, 0.040, 0.100]
+        percentiles = latency_percentiles(values, percentiles=(50.0, 95.0, 99.0))
+        for q, value in percentiles.items():
+            assert value == float(np.percentile(np.asarray(values), float(q[1:])))
+        assert percentiles["p50"] == pytest.approx(0.030)
+
+    def test_empty_sample_is_nan(self):
+        percentiles = latency_percentiles([])
+        assert all(np.isnan(value) for value in percentiles.values())
+
+    def test_deadline_miss_rate(self):
+        values = [0.01, 0.02, 0.03, 0.04]
+        assert deadline_miss_rate(values, 0.025) == pytest.approx(0.5)
+        assert deadline_miss_rate([], 0.025) == 0.0
+        assert deadline_miss_rate(values, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            deadline_miss_rate(values, 0.0)
+
+    def test_summary_and_record_tables(self):
+        from repro.sim.arrivals import PoissonArrivals
+        from repro.sim.batched import BatchLatencyModel, StreamProfile
+        from repro.sim.scheduler import ServingScheduler
+
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        scheduler = ServingScheduler(BatchLatencyModel())
+        profiles = [StreamProfile(kv_len=40_000, session_id=i) for i in range(2)]
+        traces = PoissonArrivals(rate_hz=4.0).generate(2, 4, seed=0)
+        result = scheduler.run(system, profiles, traces)
+        summaries = result.stream_summaries() + [result.fleet_summary()]
+        table = format_latency_summary_table(summaries, title="latency")
+        assert "p99 ms" in table and "fleet" in table and "stream 0" in table
+        records = format_schedule_record_table(result.records, limit=3)
+        assert "sojourn ms" in records
+        assert len(records.splitlines()) == 5  # header, rule, 3 rows
 
 
 class TestBreakdownHelpers:

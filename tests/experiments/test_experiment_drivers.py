@@ -13,6 +13,7 @@ from repro.experiments import (
     fig16_ablation_hw,
     fig17_bandwidth,
     fig18_roofline,
+    scheduled_serving,
     table03_area_power,
 )
 
@@ -136,6 +137,53 @@ class TestBatchedServing:
         batched_serving.main()
         out = capsys.readouterr().out
         assert "Batched serving" in out and "mixed cache sizes" in out
+
+
+class TestScheduledServing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        return scheduled_serving.run(
+            system=system,
+            num_streams=4,
+            frames_per_stream=8,
+            load_factors=(0.4, 0.9),
+        )
+
+    def test_all_pattern_rows_present(self, result):
+        assert len(result.rows) == 2 * len(scheduled_serving.PATTERNS)
+        for row in result.rows:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert 0.0 <= row["miss_rate"] <= 1.0
+            assert 0.0 <= row["drop_rate"] <= 1.0
+            assert row["events"] > 0
+
+    def test_staggering_beats_aligned_collisions(self, result):
+        for load in (0.4, 0.9):
+            aligned = result.row(load, "aligned")
+            staggered = result.row(load, "staggered")
+            assert staggered.get("p99_ms") <= aligned["p99_ms"]
+            assert staggered["miss_rate"] <= aligned["miss_rate"]
+
+    def test_load_inflates_poisson_tail(self, result):
+        assert result.row(0.9, "poisson")["p95_ms"] >= result.row(0.4, "poisson")["p95_ms"]
+
+    def test_deadline_scales_with_solo_latency(self, result):
+        assert result.deadline_s == pytest.approx(2.0 * result.solo_latency_s)
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row(0.4, "fractal")
+        with pytest.raises(ValueError):
+            scheduled_serving._arrival_traces("fractal", 1.0, 2, 2, 0)
+
+    def test_main_prints(self, capsys):
+        scheduled_serving.main()
+        out = capsys.readouterr().out
+        assert "Scheduled serving" in out and "tail blow-up" in out
 
 
 class TestTable03:

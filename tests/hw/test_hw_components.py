@@ -13,7 +13,7 @@ from repro.hw.dre.hcu import HCUModel, HCUWork
 from repro.hw.dre.kvmu import KVFetchWork, KVMUModel
 from repro.hw.dre.wtu import WTUModel, WTUWork
 from repro.hw.energy import EnergyModel, core_area_power, vrex_chip_area_mm2
-from repro.hw.event import ResourceQueue, Timeline
+from repro.hw.event import EventLoop, ReleasableResource, ResourceQueue, Timeline
 from repro.hw.gpu import GPUDevice, pcie_config_for
 from repro.hw.memory.dram import LPDDR5, DRAMModel
 from repro.hw.memory.hierarchy import HierarchicalKVManager
@@ -350,6 +350,92 @@ class TestResourceQueues:
         assert device.fetch_time_s(work) == pytest.approx(
             max(device.fetch_pcie_time_s(work), device.fetch_ssd_time_s(work))
         )
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("early"))
+        assert loop.run() == 2
+        assert fired == ["early", "late"]
+        assert loop.now_s == 2.0
+        assert loop.events_processed == 2
+
+    def test_tie_breaking_priority_then_key_then_insertion(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("p1"), priority=1, key=(0,))
+        loop.schedule(1.0, lambda: fired.append("p0-b"), priority=0, key=(2,))
+        loop.schedule(1.0, lambda: fired.append("p0-a"), priority=0, key=(1,))
+        loop.schedule(1.0, lambda: fired.append("p0-a2"), priority=0, key=(1,))
+        loop.run()
+        assert fired == ["p0-a", "p0-a2", "p0-b", "p1"]
+
+    def test_events_scheduled_during_run_fire(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            loop.schedule(loop.now_s + 1.0, lambda: fired.append("second"))
+
+        loop.schedule(0.0, chain)
+        loop.run()
+        assert fired == ["first", "second"]
+
+    def test_rejects_scheduling_in_the_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            loop.run()
+
+    def test_run_until_leaves_later_events_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(3.0, lambda: fired.append(3))
+        assert loop.run(until_s=2.0) == 1
+        assert fired == [1] and len(loop) == 1
+        loop.run()
+        assert fired == [1, 3]
+
+
+class TestReleasableResource:
+    def test_immediate_grant_when_idle(self):
+        resource = ReleasableResource("slot")
+        grants = []
+        resource.acquire(1.0, grants.append)
+        assert resource.busy and grants[0].start_s == 1.0
+        assert grants[0].wait_s == 0.0
+        resource.release(3.0)
+        assert not resource.busy
+        assert grants[0].release_s == 3.0
+        assert grants[0].hold_s == pytest.approx(2.0)
+
+    def test_fcfs_waiters_granted_on_release(self):
+        resource = ReleasableResource()
+        grants = []
+        resource.acquire(0.0, grants.append)
+        resource.acquire(0.5, grants.append)
+        resource.acquire(1.0, grants.append)
+        assert len(grants) == 1 and resource.queue_depth == 2
+        resource.release(2.0)
+        assert len(grants) == 2 and grants[1].arrival_s == 0.5
+        assert grants[1].start_s == 2.0 and grants[1].wait_s == pytest.approx(1.5)
+        resource.release(5.0)
+        assert grants[2].start_s == 5.0 and resource.queue_depth == 0
+
+    def test_release_validation(self):
+        resource = ReleasableResource()
+        with pytest.raises(ValueError):
+            resource.release(0.0)
+        resource.acquire(1.0, lambda grant: None)
+        with pytest.raises(ValueError):
+            resource.release(0.5)
+        with pytest.raises(ValueError):
+            resource.grants[0].hold_s  # noqa: B018 — not yet released
 
 
 class TestTimeline:

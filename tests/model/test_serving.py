@@ -198,6 +198,65 @@ class TestSessionBatch:
         with pytest.raises(ValueError):
             batch.generate_all([1])
 
+    def test_run_arrivals_processes_in_global_arrival_order(
+        self, tiny_model, tiny_model_config, rng
+    ):
+        hidden = tiny_model_config.hidden_dim
+        batch = SessionBatch(
+            tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        streams = [_frames(rng, 2, 4, hidden), _frames(rng, 3, 4, hidden)]
+        schedule = batch.run_arrivals(streams, [[0.5, 2.0], [0.0, 0.5, 1.0]])
+        assert schedule == [
+            (0.0, 1, 0),
+            (0.5, 0, 0),
+            (0.5, 1, 1),
+            (1.0, 1, 2),
+            (2.0, 0, 1),
+        ]
+        assert batch.sessions[0].stats.frames_processed == 2
+        assert batch.sessions[1].stats.frames_processed == 3
+
+    def test_run_arrivals_matches_round_robin_per_stream_state(
+        self, tiny_model_config, rng
+    ):
+        """State isolation: admission order across streams cannot change
+        any single stream's cache or statistics."""
+        from repro.model.llm import StreamingVideoLLM
+
+        hidden = tiny_model_config.hidden_dim
+        streams = [_frames(rng, 3, 4, hidden), _frames(rng, 3, 4, hidden)]
+
+        tick_model = StreamingVideoLLM(tiny_model_config, seed=0)
+        ticked = SessionBatch(
+            tick_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        ticked.run_streams([list(frames) for frames in streams])
+
+        arrival_model = StreamingVideoLLM(tiny_model_config, seed=0)
+        arrived = SessionBatch(
+            arrival_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        arrived.run_arrivals(streams, [[0.0, 0.1, 0.2], [1.0, 1.1, 1.2]])
+
+        for tick_report, arrival_report in zip(ticked.reports(), arrived.reports()):
+            assert tick_report == arrival_report
+
+    def test_run_arrivals_validation(self, tiny_model, tiny_model_config, rng):
+        hidden = tiny_model_config.hidden_dim
+        batch = SessionBatch(
+            tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=2
+        )
+        frames = _frames(rng, 2, 4, hidden)
+        with pytest.raises(ValueError):
+            batch.run_arrivals([frames], [[0.0, 1.0]])
+        with pytest.raises(ValueError):
+            batch.run_arrivals([frames, frames], [[0.0, 1.0]])
+        with pytest.raises(ValueError):
+            batch.run_arrivals([frames, frames], [[0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            batch.run_arrivals([frames, frames], [[1.0, 0.0], [0.0, 1.0]])
+
     def test_baseline_retrievers_spawn_per_session(self, tiny_model, rng):
         batch = SessionBatch(tiny_model, retriever=make_rekv(), num_sessions=2)
         retrievers = [session.retriever for session in batch.sessions]

@@ -1,0 +1,377 @@
+"""Tests for the event-driven serving scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import BurstyArrivals, DeterministicArrivals, PoissonArrivals
+from repro.sim.batched import BatchLatencyModel, StreamProfile, staggered_arrivals
+from repro.sim.scheduler import (
+    FRAME_JOB,
+    GENERATION_JOB,
+    QUESTION_JOB,
+    SchedulerConfig,
+    ServingScheduler,
+)
+from repro.sim.systems import edge_systems, server_systems
+from repro.sim.workload import default_llm_workload
+
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def model_bytes() -> float:
+    return default_llm_workload().model_bytes()
+
+
+@pytest.fixture(scope="module")
+def edge(model_bytes):
+    return edge_systems(model_bytes)
+
+
+@pytest.fixture(scope="module")
+def plane() -> BatchLatencyModel:
+    return BatchLatencyModel()
+
+
+@pytest.fixture(scope="module")
+def scheduler(plane) -> ServingScheduler:
+    return ServingScheduler(plane)
+
+
+def _fleet(kv_lens, offsets=None):
+    offsets = offsets or [0.0] * len(kv_lens)
+    return [
+        StreamProfile(kv_len=kv, arrival_offset_s=offset, session_id=index)
+        for index, (kv, offset) in enumerate(zip(kv_lens, offsets))
+    ]
+
+
+class TestDegenerateEquivalence:
+    """Single aligned frame, no admission control == contended batched step."""
+
+    @pytest.mark.parametrize(
+        "system_name", ["AGX + FlexGen", "AGX + InfiniGen", "AGX + ReKV", "V-Rex8"]
+    )
+    def test_aligned_single_step_matches_contended_step(
+        self, plane, scheduler, edge, system_name
+    ):
+        system = edge[system_name]
+        profiles = _fleet([40_000, 25_000, 10_000, 40_000])
+        step = plane.frame_step(system, profiles)
+        result = scheduler.run(system, profiles, [[0.0]] * len(profiles))
+        assert result.served == len(profiles)
+        for row in step.streams:
+            record = result.jobs(stream_index=row.session_id)[0]
+            assert record.sojourn_s == pytest.approx(row.total_s, rel=REL_TOL)
+            assert record.pcie_wait_s == pytest.approx(row.pcie_wait_s, abs=1e-15)
+            assert record.dre_wait_s == pytest.approx(row.dre_wait_s, abs=1e-15)
+        assert result.makespan_s == pytest.approx(step.total_s, rel=REL_TOL)
+        assert result.oom == step.oom
+
+    @pytest.mark.parametrize("system_name", ["AGX + FlexGen", "V-Rex8"])
+    def test_staggered_single_step_matches_contended_step(
+        self, plane, scheduler, edge, system_name
+    ):
+        """Arrival traces equal to the profile offsets reproduce staggering."""
+        system = edge[system_name]
+        offsets = staggered_arrivals(4, 0.05)
+        profiles = _fleet([40_000] * 4, offsets)
+        step = plane.frame_step(system, profiles)
+        result = scheduler.run(
+            system, profiles, [[offset] for offset in offsets]
+        )
+        for row in step.streams:
+            record = result.jobs(stream_index=row.session_id)[0]
+            assert record.sojourn_s == pytest.approx(row.total_s, rel=REL_TOL)
+
+    def test_server_system_matches_contended_step(self, plane, scheduler, model_bytes):
+        system = server_systems(model_bytes)["A100 + InfiniGenP"]
+        profiles = _fleet([40_000] * 4)
+        step = plane.frame_step(system, profiles)
+        result = scheduler.run(system, profiles, [[0.0]] * 4)
+        for row in step.streams:
+            record = result.jobs(stream_index=row.session_id)[0]
+            assert record.sojourn_s == pytest.approx(row.total_s, rel=REL_TOL)
+
+    def test_reported_percentiles_are_exact_order_statistics(
+        self, plane, scheduler, edge
+    ):
+        """p50/p95/p99 must be np.percentile of the recorded sojourns."""
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 30_000, 20_000, 10_000])
+        traces = PoissonArrivals(rate_hz=3.0).generate(4, 10, seed=5)
+        result = scheduler.run(system, profiles, traces)
+        fleet = result.fleet_summary()
+        sojourns = np.asarray(
+            [r.sojourn_s for r in result.records if not r.dropped]
+        )
+        for q in (50.0, 95.0, 99.0):
+            assert fleet.percentile_ms(q) == float(np.percentile(sojourns, q)) * 1e3
+        for summary in result.stream_summaries():
+            stream_sojourns = np.asarray(
+                result.sojourn_times_s(stream_index=summary.stream_index)
+            )
+            for q in (50.0, 95.0, 99.0):
+                assert (
+                    summary.percentile_ms(q)
+                    == float(np.percentile(stream_sojourns, q)) * 1e3
+                )
+
+
+class TestEventDynamics:
+    def test_backlog_serializes_a_stream(self, plane, scheduler, edge):
+        """Frames arriving faster than service queue on the stream's slot."""
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000])
+        solo = plane.frame_step(system, profiles).streams[0].total_s
+        traces = [np.arange(5) * (solo / 10.0)]  # 10x oversubscribed
+        result = scheduler.run(system, profiles, traces)
+        records = result.jobs(kind=FRAME_JOB)
+        assert len(records) == 5
+        starts = [record.start_s for record in records]
+        finishes = [record.finish_s for record in records]
+        assert starts == sorted(starts)
+        for previous_finish, start in zip(finishes, starts[1:]):
+            assert start == pytest.approx(previous_finish, rel=1e-12)
+        # sojourns grow as the backlog builds
+        sojourns = [record.sojourn_s for record in records]
+        assert sojourns == sorted(sojourns)
+
+    def test_wide_spacing_leaves_no_queueing(self, plane, scheduler, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000])
+        solo = plane.frame_step(system, profiles).streams[0].total_s
+        traces = [np.arange(4) * (2.0 * solo)]
+        result = scheduler.run(system, profiles, traces)
+        for record in result.jobs(kind=FRAME_JOB):
+            assert record.queue_wait_s == pytest.approx(0.0, abs=1e-15)
+            assert record.sojourn_s == pytest.approx(solo, rel=REL_TOL)
+
+    def test_deterministic_given_same_traces(self, scheduler, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 20_000])
+        traces = BurstyArrivals(burst_rate_hz=20.0, mean_idle_s=0.3).generate(
+            2, 8, seed=9
+        )
+        first = scheduler.run(system, profiles, traces)
+        second = scheduler.run(system, profiles, traces)
+        assert len(first.records) == len(second.records)
+        for a, b in zip(first.records, second.records):
+            assert a == b
+
+    def test_schedule_independent_of_profile_list_order(self, scheduler, edge):
+        system = edge["V-Rex8"]
+        big = StreamProfile(kv_len=40_000, session_id=0)
+        small = StreamProfile(kv_len=20_000, session_id=1)
+        traces = {0: [0.0, 0.1], 1: [0.0, 0.05]}
+        forward = scheduler.run(
+            system, [big, small], [traces[0], traces[1]]
+        )
+        reverse = scheduler.run(
+            system, [small, big], [traces[1], traces[0]]
+        )
+        for session_id in (0, 1):
+            fwd = [r for r in forward.records if r.session_id == session_id]
+            rev = [r for r in reverse.records if r.session_id == session_id]
+            assert [r.sojourn_s for r in fwd] == pytest.approx(
+                [r.sojourn_s for r in rev], abs=1e-12
+            )
+
+    def test_shared_link_couples_streams(self, plane, scheduler, edge):
+        """An aligned second stream inflates the first's sojourn via the link."""
+        system = edge["AGX + FlexGen"]
+        solo = scheduler.run(system, _fleet([40_000]), [[0.0]])
+        pair = scheduler.run(system, _fleet([40_000, 40_000]), [[0.0], [0.0]])
+        solo_sojourn = solo.records[0].sojourn_s
+        pair_sojourns = sorted(r.sojourn_s for r in pair.records)
+        assert pair_sojourns[0] == pytest.approx(solo_sojourn, rel=REL_TOL)
+        assert pair_sojourns[1] > solo_sojourn
+        assert max(r.pcie_wait_s for r in pair.records) > 0.0
+
+    def test_timeline_records_shared_resources(self, scheduler, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 40_000])
+        result = scheduler.run(system, profiles, [[0.0, 0.5], [0.0, 0.5]])
+        assert result.timeline.busy_time_s("pcie") > 0.0
+        assert result.timeline.busy_time_s("dre") > 0.0
+        assert result.timeline.busy_time_s("compute:s0") > 0.0
+        assert result.timeline.makespan_s <= max(
+            record.finish_s for record in result.records
+        ) + 1e-12
+        # the shared link never serves two transfers at once
+        pcie_tasks = result.timeline.tasks_on("pcie")
+        for earlier, later in zip(pcie_tasks, pcie_tasks[1:]):
+            assert later.start_s >= earlier.end_s - 1e-12
+
+
+class TestQuestionsAndGeneration:
+    def test_generation_chains_after_question(self, scheduler, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([30_000])
+        result = scheduler.run(
+            system,
+            profiles,
+            [[0.0]],
+            question_arrivals=[1.0],
+            answer_tokens=3,
+        )
+        kinds = [record.kind for record in result.records]
+        assert kinds.count(FRAME_JOB) == 1
+        assert kinds.count(QUESTION_JOB) == 1
+        assert kinds.count(GENERATION_JOB) == 3
+        question = result.jobs(kind=QUESTION_JOB)[0]
+        generations = result.jobs(kind=GENERATION_JOB)
+        assert generations[0].arrival_s == pytest.approx(question.finish_s)
+        for previous, current in zip(generations, generations[1:]):
+            assert current.arrival_s == pytest.approx(previous.finish_s)
+            assert current.job_index == previous.job_index + 1
+
+    def test_question_skipped_stream(self, scheduler, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([30_000, 30_000])
+        result = scheduler.run(
+            system,
+            profiles,
+            [[0.0], [0.0]],
+            question_arrivals=[1.0, None],
+            answer_tokens=[2, 0],
+        )
+        assert len(result.jobs(stream_index=0, kind=QUESTION_JOB)) == 1
+        assert len(result.jobs(stream_index=1, kind=QUESTION_JOB)) == 0
+        assert len(result.jobs(stream_index=1, kind=GENERATION_JOB)) == 0
+
+    def test_answer_without_question_rejected(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(
+                edge["V-Rex8"],
+                _fleet([30_000]),
+                [[0.0]],
+                question_arrivals=[None],
+                answer_tokens=2,
+            )
+
+
+class TestAdmissionControl:
+    def test_queue_depth_bound_drops_excess_frames(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000])
+        scheduler = ServingScheduler(plane, SchedulerConfig(max_queue_depth=1))
+        result = scheduler.run(system, profiles, [[0.0, 0.0, 0.0, 0.0]])
+        assert result.dropped == 2  # one in service, one queued, two dropped
+        assert result.served == 2
+        dropped = [record for record in result.records if record.dropped]
+        assert all(record.finish_s == record.arrival_s for record in dropped)
+        assert result.fleet_summary().drop_rate == pytest.approx(0.5)
+
+    def test_unbounded_queue_drops_nothing(self, plane, edge):
+        system = edge["V-Rex8"]
+        scheduler = ServingScheduler(plane)
+        result = scheduler.run(system, _fleet([40_000]), [[0.0] * 6])
+        assert result.dropped == 0
+
+    def test_drop_late_sheds_hopeless_backlog(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000])
+        solo = plane.frame_step(system, profiles).streams[0].total_s
+        config = SchedulerConfig(deadline_s=1.5 * solo, drop_late=True)
+        scheduler = ServingScheduler(plane, config)
+        result = scheduler.run(system, profiles, [[0.0] * 5])
+        assert result.dropped > 0
+        # served frames were all admitted within their deadline budget
+        for record in result.records:
+            if not record.dropped:
+                assert record.queue_wait_s <= config.deadline_s + 1e-12
+
+    def test_deadline_miss_rate_counts_exactly(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000])
+        solo = plane.frame_step(system, profiles).streams[0].total_s
+        scheduler = ServingScheduler(plane, SchedulerConfig(deadline_s=1.5 * solo))
+        result = scheduler.run(system, profiles, [[0.0, 0.0, 0.0]])
+        served = [record for record in result.records if not record.dropped]
+        expected = sum(1 for r in served if r.sojourn_s > 1.5 * solo) / len(served)
+        assert result.fleet_summary().deadline_miss_rate == pytest.approx(expected)
+        assert expected > 0.0  # the aligned backlog must miss some deadlines
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            SchedulerConfig(drop_late=True)
+
+
+class TestInputValidation:
+    def test_empty_fleet_rejected(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(edge["V-Rex8"], [], [])
+
+    def test_trace_count_mismatch(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(edge["V-Rex8"], _fleet([10_000]), [[0.0], [0.0]])
+
+    def test_negative_and_unsorted_traces_rejected(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(edge["V-Rex8"], _fleet([10_000]), [[-0.1]])
+        with pytest.raises(ValueError):
+            scheduler.run(edge["V-Rex8"], _fleet([10_000]), [[0.5, 0.1]])
+
+    def test_question_arrival_validation(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(
+                edge["V-Rex8"], _fleet([10_000]), [[0.0]], question_arrivals=[-1.0]
+            )
+        with pytest.raises(ValueError):
+            scheduler.run(
+                edge["V-Rex8"],
+                _fleet([10_000]),
+                [[0.0]],
+                question_arrivals=[0.0, 1.0],
+            )
+
+    def test_negative_answer_tokens_rejected(self, scheduler, edge):
+        with pytest.raises(ValueError):
+            scheduler.run(
+                edge["V-Rex8"],
+                _fleet([10_000]),
+                [[0.0]],
+                question_arrivals=[0.0],
+                answer_tokens=-1,
+            )
+
+    def test_empty_traces_yield_empty_result(self, scheduler, edge):
+        result = scheduler.run(edge["V-Rex8"], _fleet([10_000]), [[]])
+        assert result.records == []
+        assert result.makespan_s == 0.0
+        assert np.isnan(result.fleet_summary().p50_ms)
+
+
+class TestArrivalProcessIntegration:
+    def test_aligned_deterministic_process_reproduces_batched_plane(
+        self, plane, scheduler, edge
+    ):
+        """The full pipeline: generator -> scheduler == contended step."""
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000] * 4)
+        traces = DeterministicArrivals(period_s=0.0).generate(4, 1)
+        result = scheduler.run(system, profiles, traces)
+        step = plane.frame_step(system, profiles)
+        for row in step.streams:
+            record = result.jobs(stream_index=row.session_id)[0]
+            assert record.sojourn_s == pytest.approx(row.total_s, rel=REL_TOL)
+
+    def test_poisson_load_shifts_tail_latency(self, plane, edge):
+        """Higher offered load inflates p95 more than p50."""
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000] * 4)
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        scheduler = ServingScheduler(plane)
+        summaries = {}
+        for load in (0.2, 0.9):
+            rate = load / (solo * len(profiles))
+            traces = PoissonArrivals(rate_hz=rate).generate(4, 12, seed=3)
+            summaries[load] = scheduler.run(system, profiles, traces).fleet_summary()
+        assert summaries[0.9].p95_ms >= summaries[0.2].p95_ms
