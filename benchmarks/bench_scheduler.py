@@ -4,7 +4,10 @@ Measures two things and writes them to ``BENCH_scheduler.json``:
 
 * **event rate** — scheduler events processed per second (and jobs/sec)
   while simulating Poisson-arrival fleets of 4/16/64 streams on the edge
-  V-Rex8 deployment — the inner loop every serving sweep pays per run;
+  V-Rex8 deployment — the inner loop every serving sweep pays per run —
+  under both compute policies (the time-sliced server fires one event per
+  round-robin slice, so its rows also record the event blow-up a 1 ms
+  quantum costs);
 * **sweep time** — wall-clock seconds of one end-to-end
   ``experiments.scheduled_serving`` sweep (all arrival patterns at all
   load factors), the figure-level cost the CI smoke keeps bounded.
@@ -36,7 +39,11 @@ from repro.sim.workload import default_llm_workload  # noqa: E402
 
 
 def scheduler_event_rate(
-    num_streams: int, frames_per_stream: int, repeats: int, kv_len: int = 40_000
+    num_streams: int,
+    frames_per_stream: int,
+    repeats: int,
+    kv_len: int = 40_000,
+    compute: str = "private",
 ) -> dict:
     """Events/sec of the scheduler at a fleet size (Poisson arrivals)."""
     system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
@@ -46,7 +53,8 @@ def scheduler_event_rate(
     ]
     solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
     scheduler = ServingScheduler(
-        plane, SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=8)
+        plane,
+        SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=8, compute=compute),
     )
     traces = PoissonArrivals(
         rate_hz=rate_for_load(0.7, solo, num_streams)
@@ -57,6 +65,7 @@ def scheduler_event_rate(
     elapsed = time.perf_counter() - start
     total_jobs = num_streams * frames_per_stream
     return {
+        "compute": compute,
         "num_streams": num_streams,
         "frames_per_stream": frames_per_stream,
         "events_per_run": result.events_processed,
@@ -88,14 +97,15 @@ def sweep_time(smoke: bool) -> dict:
 def run(smoke: bool = False) -> dict:
     fleet_sizes = [(4, 12, 5)] if smoke else [(4, 40, 20), (16, 40, 10), (64, 40, 3)]
     results: dict = {"scheduler": [], "sweep": None}
-    for num_streams, frames, repeats in fleet_sizes:
-        row = scheduler_event_rate(num_streams, frames, repeats)
-        results["scheduler"].append(row)
-        print(
-            f"scheduler {row['num_streams']} streams: "
-            f"{row['events_per_s']:,.0f} events/s, {row['jobs_per_s']:,.0f} jobs/s "
-            f"({row['run_ms']:.1f} ms/run, {row['events_per_run']} events)"
-        )
+    for compute in ("private", "timesliced"):
+        for num_streams, frames, repeats in fleet_sizes:
+            row = scheduler_event_rate(num_streams, frames, repeats, compute=compute)
+            results["scheduler"].append(row)
+            print(
+                f"scheduler {row['num_streams']} streams [{compute}]: "
+                f"{row['events_per_s']:,.0f} events/s, {row['jobs_per_s']:,.0f} jobs/s "
+                f"({row['run_ms']:.1f} ms/run, {row['events_per_run']} events)"
+            )
     results["sweep"] = sweep_time(smoke)
     print(
         f"scheduled-serving sweep ({results['sweep']['rows']} rows): "
@@ -105,6 +115,14 @@ def run(smoke: bool = False) -> dict:
         assert all(row["events_per_s"] > 0 for row in results["scheduler"])
         assert all(row["events_per_run"] > 0 for row in results["scheduler"])
         assert all(row["fleet_p99_ms"] > 0 for row in results["scheduler"])
+        assert {row["compute"] for row in results["scheduler"]} == {
+            "private",
+            "timesliced",
+        }
+        timesliced = [r for r in results["scheduler"] if r["compute"] == "timesliced"]
+        private = [r for r in results["scheduler"] if r["compute"] == "private"]
+        # the round-robin slices must actually fire extra events
+        assert timesliced[0]["events_per_run"] > private[0]["events_per_run"]
         assert results["sweep"]["rows"] > 0
         print("smoke ok")
     return results

@@ -12,7 +12,11 @@ End-to-end walkthrough of the serving scheduler:
    serializes on the shared DRE, KV fetches on the shared PCIe link — plus
    one question and a short generation per stream;
 4. report per-stream and fleet p50/p95/p99 sojourn times and the
-   deadline-miss rate, the distributions a makespan can't show.
+   deadline-miss rate, the distributions a makespan can't show;
+5. replay the identical arrivals with ``compute="timesliced"`` — the
+   LXE now round-robins between streams instead of being priced as a free
+   per-stream engine — and show the bracket: the private-compute makespan
+   lower-bounds the time-sliced one on every fleet.
 
 Run with:  python examples/scheduled_serving.py [num_streams]
 """
@@ -125,6 +129,40 @@ def main(num_streams: int = 4) -> None:
         f"{100 * fleet.deadline_miss_rate:.1f}% deadline misses, "
         f"{100 * fleet.drop_rate:.1f}% dropped by admission control"
     )
+
+    # Same arrivals, but the LXE is one shared time-sliced engine instead of
+    # a free engine per stream: the compute-contention bracket.
+    timesliced = ServingScheduler(
+        plane,
+        SchedulerConfig(
+            deadline_s=2.0 * solo, max_queue_depth=4, compute="timesliced"
+        ),
+    ).run(
+        system,
+        profiles,
+        production_traces,
+        question_arrivals=[question_time] * num_streams,
+        answer_tokens=4,
+    )
+    shared = timesliced.fleet_summary()
+    print()
+    print(
+        f"Time-sliced LXE (quantum 1 ms): p50 {shared.p50_ms:.0f} ms, "
+        f"p95 {shared.p95_ms:.0f} ms, p99 {shared.p99_ms:.0f} ms; "
+        f"{100 * shared.deadline_miss_rate:.1f}% deadline misses"
+    )
+    print(
+        f"Bracket: private-compute makespan {result.makespan_s:.2f} s <= "
+        f"time-sliced {timesliced.makespan_s:.2f} s "
+        f"(shared compute can only slow the fleet down)"
+    )
+    if timesliced.makespan_s - result.makespan_s < 1e-6:
+        print(
+            "  (tight here: at 40K-token caches the PCIe link, not the LXE, "
+            "is the bottleneck and compute hides under the fetch path — "
+            "rerun experiments/scheduled_serving.py for the compute-bound "
+            "regime where the quantum matters)"
+        )
 
 
 if __name__ == "__main__":

@@ -15,7 +15,12 @@ and reports what a serving operator actually monitors:
   stream's solo frame latency, swept toward saturation;
 * **latency distributions** — per-run fleet p50/p95/p99 sojourn times,
   deadline-miss rate against a deadline of ``deadline_multiple`` solo
-  latencies, and the share of frames the backlog admission bound dropped.
+  latencies, and the share of frames the backlog admission bound dropped;
+* **compute contention** — :func:`run` prices the LXE/GPU under either
+  compute policy, and :func:`run_quantum_sweep` sweeps the time-sliced
+  server's scheduling quantum against offered load, bracketing each
+  operating point between the private-compute floor and progressively
+  coarser round-robin slicing.
 """
 
 from __future__ import annotations
@@ -29,13 +34,14 @@ from repro.sim.arrivals import (
     PoissonArrivals,
     rate_for_load,
 )
-from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.batched import DEFAULT_QUANTUM_S, BatchLatencyModel, StreamProfile
 from repro.sim.scheduler import SchedulerConfig, ServingScheduler
 from repro.sim.systems import SystemConfig, edge_systems
 from repro.sim.workload import default_llm_workload
 
 DEFAULT_LOAD_FACTORS = (0.4, 0.7, 0.9)
 PATTERNS = ("aligned", "staggered", "poisson", "bursty")
+DEFAULT_QUANTA_S = (4e-3, 1e-3, 2.5e-4)
 
 
 @dataclass
@@ -48,6 +54,7 @@ class ScheduledServingResult:
     frames_per_stream: int
     solo_latency_s: float
     deadline_s: float
+    compute: str = "private"
     #: one row per (load_factor, pattern): p50/p95/p99 ms, miss/drop rates.
     rows: list[dict] = field(default_factory=list)
 
@@ -92,6 +99,8 @@ def run(
     deadline_multiple: float = 2.0,
     max_queue_depth: int | None = 4,
     seed: int = 0,
+    compute: str = "private",
+    quantum_s: float = DEFAULT_QUANTUM_S,
 ) -> ScheduledServingResult:
     """Sweep arrival patterns and load factors for one system."""
     if system is None:
@@ -104,7 +113,12 @@ def run(
     deadline = deadline_multiple * solo
     scheduler = ServingScheduler(
         plane,
-        SchedulerConfig(deadline_s=deadline, max_queue_depth=max_queue_depth),
+        SchedulerConfig(
+            deadline_s=deadline,
+            max_queue_depth=max_queue_depth,
+            compute=compute,
+            quantum_s=quantum_s,
+        ),
     )
     result = ScheduledServingResult(
         system=system.name,
@@ -113,6 +127,7 @@ def run(
         frames_per_stream=frames_per_stream,
         solo_latency_s=solo,
         deadline_s=deadline,
+        compute=compute,
     )
     for load in load_factors:
         rate = rate_for_load(load, solo, num_streams)
@@ -126,6 +141,97 @@ def run(
                 {
                     "load": load,
                     "pattern": pattern,
+                    "p50_ms": fleet.p50_ms,
+                    "p95_ms": fleet.p95_ms,
+                    "p99_ms": fleet.p99_ms,
+                    "mean_ms": fleet.mean_ms,
+                    "miss_rate": fleet.deadline_miss_rate,
+                    "drop_rate": fleet.drop_rate,
+                    "makespan_s": schedule.makespan_s,
+                    "events": schedule.events_processed,
+                }
+            )
+    return result
+
+
+@dataclass
+class QuantumSweepResult:
+    """Quantum × load sweep of the time-sliced compute server."""
+
+    system: str
+    kv_len: int
+    num_streams: int
+    frames_per_stream: int
+    pattern: str
+    solo_latency_s: float
+    deadline_s: float
+    #: one row per (load_factor, quantum); ``quantum_s is None`` marks the
+    #: private-compute baseline that lower-brackets every quantum.
+    rows: list[dict] = field(default_factory=list)
+
+    def row(self, load_factor: float, quantum_s: float | None) -> dict:
+        for row in self.rows:
+            if row["load"] == load_factor and row["quantum_s"] == quantum_s:
+                return row
+        raise KeyError(f"no row for load {load_factor}, quantum {quantum_s!r}")
+
+
+def run_quantum_sweep(
+    system: SystemConfig | None = None,
+    kv_len: int = 4_000,
+    num_streams: int = 8,
+    frames_per_stream: int = 10,
+    load_factors=DEFAULT_LOAD_FACTORS,
+    quanta_s=DEFAULT_QUANTA_S,
+    pattern: str = "poisson",
+    deadline_multiple: float = 2.0,
+    max_queue_depth: int | None = 4,
+    seed: int = 0,
+) -> QuantumSweepResult:
+    """Sweep the round-robin quantum against offered load for one system.
+
+    Every operating point also runs the private-compute policy (the
+    ``quantum_s=None`` baseline row), whose makespan lower-brackets the
+    time-sliced runs at any quantum.  The default cache length is short on
+    purpose: with small caches the LXE/GPU — not the PCIe link — is the
+    contended resource, which is the regime where compute time-slicing
+    shows (at 40K-token caches the fetch path hides compute entirely and
+    every quantum row collapses onto the private baseline).
+    """
+    if system is None:
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    deadline = deadline_multiple * solo
+    result = QuantumSweepResult(
+        system=system.name,
+        kv_len=kv_len,
+        num_streams=num_streams,
+        frames_per_stream=frames_per_stream,
+        pattern=pattern,
+        solo_latency_s=solo,
+        deadline_s=deadline,
+    )
+    for load in load_factors:
+        rate = rate_for_load(load, solo, num_streams)
+        traces = _arrival_traces(pattern, rate, num_streams, frames_per_stream, seed)
+        for quantum in (None, *quanta_s):
+            config = SchedulerConfig(
+                deadline_s=deadline,
+                max_queue_depth=max_queue_depth,
+                compute="private" if quantum is None else "timesliced",
+                quantum_s=DEFAULT_QUANTUM_S if quantum is None else quantum,
+            )
+            schedule = ServingScheduler(plane, config).run(system, profiles, traces)
+            fleet = schedule.fleet_summary()
+            result.rows.append(
+                {
+                    "load": load,
+                    "quantum_s": quantum,
+                    "compute": config.compute,
                     "p50_ms": fleet.p50_ms,
                     "p95_ms": fleet.p95_ms,
                     "p99_ms": fleet.p99_ms,
@@ -178,6 +284,30 @@ def main() -> dict[str, ScheduledServingResult]:
             f"bursty {result.tail_blowup(heaviest, 'bursty'):.2f}x"
         )
         print()
+
+    sweep = run_quantum_sweep()
+    rows = [
+        [
+            row["load"],
+            "private" if row["quantum_s"] is None else f"{row['quantum_s'] * 1e3:g} ms",
+            row["p50_ms"],
+            row["p95_ms"],
+            row["p99_ms"],
+            100.0 * row["miss_rate"],
+            row["makespan_s"],
+        ]
+        for row in sweep.rows
+    ]
+    print(
+        format_table(
+            ["load", "quantum", "p50 ms", "p95 ms", "p99 ms", "miss %", "makespan s"],
+            rows,
+            title=(
+                f"Time-sliced compute — {sweep.system}, {sweep.num_streams} streams, "
+                f"{sweep.pattern} arrivals (private = lower bracket)"
+            ),
+        )
+    )
     return results
 
 

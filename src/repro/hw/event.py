@@ -20,6 +20,14 @@ rather than of the caller's list order — and a releasable resource is a
 FCFS server whose hold times are not known at request time (a stream's
 pipeline slot stays held until the job's finish emerges from the shared
 DRE and PCIe queues).
+
+:class:`PreemptiveResource` is the time-sliced compute server the
+``compute="timesliced"`` serving mode contends on: a round-robin single
+server with a configurable scheduling quantum.  Jobs join a FIFO ready
+queue, the head job runs for ``min(quantum_s, remaining)``, then requeues
+at the tail if unfinished; as ``quantum_s`` shrinks the schedule converges
+to ideal processor sharing, and because the server is work-conserving the
+time it drains a backlog is independent of the quantum.
 """
 
 from __future__ import annotations
@@ -221,6 +229,146 @@ class ReleasableResource:
             self._holder = grant
             self.grants.append(grant)
             callback(grant)
+
+
+class PreemptiveJob:
+    """One job of a :class:`PreemptiveResource` (round-robin time slices)."""
+
+    __slots__ = ("key", "arrival_s", "work_s", "served_s", "first_start_s", "finish_s", "_callback")
+
+    def __init__(self, key: tuple, arrival_s: float, work_s: float, callback):
+        self.key = key
+        self.arrival_s = arrival_s
+        self.work_s = work_s
+        self.served_s = 0.0
+        self.first_start_s: float | None = None
+        self.finish_s: float | None = None
+        self._callback = callback
+
+    @property
+    def done(self) -> bool:
+        return self.finish_s is not None
+
+    @property
+    def wait_s(self) -> float:
+        """Delay between arrival and the job's first time slice."""
+        if self.first_start_s is None:
+            raise ValueError("job has not started yet")
+        return self.first_start_s - self.arrival_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Arrival-to-completion time (service plus every preemption gap)."""
+        if self.finish_s is None:
+            raise ValueError("job has not finished yet")
+        return self.finish_s - self.arrival_s
+
+    @property
+    def slowdown(self) -> float:
+        """Sojourn relative to running alone (1.0 = no interference)."""
+        if self.work_s <= 0:
+            return 1.0
+        return self.sojourn_s / self.work_s
+
+
+class PreemptiveResource:
+    """A round-robin time-sliced single server (preemptive compute).
+
+    Models one shared compute engine (the LXE or GPU) that several streams'
+    jobs contend on: jobs join a FIFO ready queue, the head job runs for
+    ``min(quantum_s, remaining work)`` seconds, and an unfinished job
+    requeues at the tail.  The server is work-conserving — it never idles
+    while work is ready — so the instant a backlog drains is independent of
+    the quantum; the quantum only redistributes *completion order* between
+    jobs, converging to ideal processor sharing as ``quantum_s → 0`` and to
+    non-preemptive FCFS as ``quantum_s → ∞``.
+
+    Slice events fire on the owning :class:`EventLoop` at the resource's
+    ``priority`` with the running job's ``key``, so schedules stay
+    deterministic functions of the submitted job set.  Zero-work jobs
+    complete immediately without occupying the server.  Completion
+    callbacks run *after* the next job has been dispatched, so a callback
+    may submit follow-up work without double-dispatching the server.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str = "compute",
+        quantum_s: float = 1e-3,
+        priority: int = 0,
+    ):
+        if quantum_s <= 0:
+            raise ValueError(f"quantum_s must be positive, got {quantum_s}")
+        self.loop = loop
+        self.name = name
+        self.quantum_s = float(quantum_s)
+        self._priority = priority
+        self._ready: deque[PreemptiveJob] = deque()
+        self._running: PreemptiveJob | None = None
+        self.jobs: list[PreemptiveJob] = []
+
+    @property
+    def busy(self) -> bool:
+        return self._running is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs ready behind the currently running slice."""
+        return len(self._ready)
+
+    def submit(
+        self, work_s: float, callback: Callable[[PreemptiveJob], None] | None = None, key: tuple = ()
+    ) -> PreemptiveJob:
+        """Admit a job at the loop's current time; ``callback(job)`` on completion."""
+        if work_s < 0:
+            raise ValueError(f"work_s must be non-negative, got {work_s}")
+        job = PreemptiveJob(key, self.loop.now_s, float(work_s), callback)
+        self.jobs.append(job)
+        if job.work_s == 0.0:
+            job.first_start_s = job.finish_s = self.loop.now_s
+            if callback is not None:
+                callback(job)
+            return job
+        self._ready.append(job)
+        if self._running is None:
+            self._dispatch()
+        return job
+
+    def busy_s(self) -> float:
+        """Total service time delivered so far."""
+        return sum(job.served_s for job in self.jobs)
+
+    def max_slowdown(self) -> float:
+        """Largest completed-job slowdown (1.0 when nothing finished)."""
+        slowdowns = [job.slowdown for job in self.jobs if job.done and job.work_s > 0]
+        return max(slowdowns, default=1.0)
+
+    def _dispatch(self) -> None:
+        job = self._ready.popleft()
+        now = self.loop.now_s
+        if job.first_start_s is None:
+            job.first_start_s = now
+        self._running = job
+        slice_s = min(self.quantum_s, job.work_s - job.served_s)
+        self.loop.schedule(now + slice_s, self._yield_slice, priority=self._priority, key=job.key)
+
+    def _yield_slice(self) -> None:
+        job = self._running
+        assert job is not None
+        self._running = None
+        remaining = job.work_s - job.served_s
+        if remaining <= self.quantum_s:
+            job.served_s = job.work_s  # exact: no accumulated float error
+            job.finish_s = self.loop.now_s
+            if self._ready:
+                self._dispatch()
+            if job._callback is not None:
+                job._callback(job)
+        else:
+            job.served_s += self.quantum_s
+            self._ready.append(job)
+            self._dispatch()
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,23 @@ shared link.
   efficiency derived from its measured cluster occupancy) and ReSV
   prediction jobs serialize on the shared DRE (HCU+WTU).  Aligned frame
   arrivals therefore expose queueing delay that staggered arrivals avoid.
-  Dense LLM compute and the vision tower are treated as private to each
-  stream (the LXE/GPU time-slices fairly); the two modes bracket a real
-  scheduler between no batching and perfect batching.
+  The contended mode prices dense compute under one of two policies:
+
+  * ``compute="private"`` — dense LLM compute and the vision tower are
+    private to each stream (N free engines): the optimistic floor of a
+    single-accelerator deployment, since cross-stream compute interference
+    costs nothing;
+  * ``compute="timesliced"`` — every stream's dense compute (and, on GPU
+    systems, its prediction kernels) contends on **one** shared
+    round-robin server (:class:`repro.hw.event.PreemptiveResource`) with a
+    configurable scheduling ``quantum_s``, converging to ideal processor
+    sharing as the quantum shrinks.  This closes the bracket the private
+    policy leaves open: for every fleet the private-compute makespan is a
+    verified lower bound of the time-sliced one, and the aggregated mode's
+    per-resource busy times (batched compute, merged fetch) floor the
+    time-sliced makespan from below — so the two cheap analytic modes
+    bracket the shared-compute schedule from below while remaining exact
+    in their own regimes.
 """
 
 from __future__ import annotations
@@ -41,7 +55,12 @@ import numpy as np
 from repro.hw.accelerator import VRexAccelerator
 from repro.hw.compute import KernelCost
 from repro.hw.dre.kvmu import KVFetchWork
-from repro.hw.event import ResourceQueue
+from repro.hw.event import (
+    EventLoop,
+    PreemptiveResource,
+    QueuedService,
+    ResourceQueue,
+)
 from repro.hw.memory.pcie import PCIeLinkQueue
 from repro.sim.pipeline import (
     FRAME_STAGE,
@@ -53,6 +72,37 @@ from repro.sim.pipeline import (
     overlap_rules,
 )
 from repro.sim.systems import SystemConfig
+
+#: Event priorities shared by the serving scheduler and the batched plane's
+#: event-driven replays, so both produce bit-identical schedules at equal
+#: times: completions release resources before new arrivals are admitted,
+#: phase-1 issues (DRE/compute submissions) precede phase-2 link requests.
+PRIO_COMPLETE = 0
+PRIO_ARRIVAL = 1
+PRIO_ISSUE = 2
+PRIO_LINK = 3
+
+#: Compute-contention policies of the contended mode.
+COMPUTE_POLICIES = ("private", "timesliced")
+
+#: Default round-robin scheduling quantum of the time-sliced compute server.
+DEFAULT_QUANTUM_S = 1e-3
+
+
+def validate_compute_policy(compute: str) -> str:
+    """Return ``compute`` or raise for a policy the planes don't implement."""
+    if compute not in COMPUTE_POLICIES:
+        raise ValueError(
+            f"unknown compute policy {compute!r}; expected one of {COMPUTE_POLICIES}"
+        )
+    return compute
+
+
+def validate_quantum(quantum_s: float) -> float:
+    """Return ``quantum_s`` as a float or raise if it is not positive."""
+    if quantum_s <= 0:
+        raise ValueError(f"quantum_s must be positive, got {quantum_s}")
+    return float(quantum_s)
 
 
 # ---------------------------------------------------------------------- #
@@ -211,6 +261,32 @@ class StreamStepResult:
     def dre_wait_s(self) -> float:
         return self.breakdown.get("dre_wait", 0.0)
 
+    @property
+    def compute_wait_s(self) -> float:
+        """Shared-compute queueing and preemption gaps (timesliced mode)."""
+        return self.breakdown.get("compute_wait", 0.0)
+
+
+def _inactive_stream_row(profile: StreamProfile) -> StreamStepResult:
+    """Zero-demand placeholder row for a stream that skips the step."""
+    return StreamStepResult(
+        session_id=profile.session_id,
+        kv_len=profile.kv_len,
+        arrival_offset_s=profile.arrival_offset_s,
+        total_s=0.0,
+        breakdown={
+            "vision": 0.0,
+            "llm_compute": 0.0,
+            "kv_prediction": 0.0,
+            "kv_fetch": 0.0,
+            "kv_prediction_raw": 0.0,
+            "kv_fetch_raw": 0.0,
+            "pcie_wait": 0.0,
+            "dre_wait": 0.0,
+            "compute_wait": 0.0,
+        },
+    )
+
 
 @dataclass
 class BatchStepResult:
@@ -223,6 +299,8 @@ class BatchStepResult:
     streams: list[StreamStepResult] = field(default_factory=list)
     breakdown: dict[str, float] = field(default_factory=dict)
     oom: bool = False
+    #: compute-contention policy of a contended step ("private"|"timesliced")
+    compute: str = "private"
 
     @property
     def batch(self) -> int:
@@ -383,6 +461,279 @@ def contended_exposure(
     return latency, exposed_prediction, exposed_fetch
 
 
+@dataclass(frozen=True)
+class TimeslicedOutcome:
+    """Resolved timing of one stream's stage on the shared servers.
+
+    The time-sliced analogue of the ``contended_issue_timing`` /
+    ``contended_exposure`` pair: absolute times of the stage's compute job
+    on the shared round-robin server, its prediction, and its fetch
+    transfer, from which the exposed breakdown is derived.  Shared by
+    :meth:`BatchLatencyModel._timesliced_step` and the event-driven
+    scheduler so the two agree to the last bit.
+    """
+
+    is_vrex: bool
+    overlaps: bool
+    start_s: float
+    compute_s: float
+    prediction_s: float
+    fetch_s: float
+    compute_submit_s: float
+    compute_finish_s: float
+    prediction_end_s: float
+    dre_wait_s: float
+    transfer: QueuedService | None
+    finish_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Stage latency measured from ``start_s`` (excludes vision)."""
+        return self.finish_s - self.start_s
+
+    @property
+    def compute_wait_s(self) -> float:
+        """Queueing plus preemption gaps the shared compute server inflicted."""
+        if self.compute_s <= 0:
+            return 0.0
+        return self.compute_finish_s - self.compute_submit_s - self.compute_s
+
+    @property
+    def pcie_wait_s(self) -> float:
+        return self.transfer.wait_s if self.transfer is not None else 0.0
+
+    @property
+    def exposed_prediction_s(self) -> float:
+        """Prediction span not hidden behind this stream's compute.
+
+        Spans include shared-server queueing, mirroring how the contended
+        plane's exposure charges PCIe waits to the fetch that suffers them.
+        """
+        if self.is_vrex:
+            busy = self.compute_finish_s - self.start_s
+            hidden = self._hidden_end_s - self.start_s
+            prediction_span = self.prediction_end_s - self.start_s
+            return max(0.0, min(prediction_span, hidden - busy))
+        return self.prediction_end_s - self.start_s
+
+    @property
+    def exposed_fetch_s(self) -> float:
+        """Fetch span (with link waits) not hidden behind compute."""
+        if self.is_vrex:
+            busy = self.compute_finish_s - self.start_s
+            hidden = self._hidden_end_s - self.start_s
+            return max(0.0, hidden - busy - self.exposed_prediction_s)
+        if self.transfer is None:
+            return 0.0
+        return max(0.0, self.transfer.finish_s - self.compute_finish_s)
+
+    @property
+    def _hidden_end_s(self) -> float:
+        return (
+            self.transfer.finish_s if self.transfer is not None else self.prediction_end_s
+        )
+
+
+class _TimeslicedStage:
+    """In-flight state machine of one stream's stage on the shared servers.
+
+    Construction must happen inside an event at the stage's start instant
+    (``loop.now_s`` is the start time).  The per-system sequencing mirrors
+    ``contended_issue_timing`` with the private compute replaced by jobs on
+    the shared :class:`~repro.hw.event.PreemptiveResource`:
+
+    * **V-Rex** — the dense compute job is submitted to the shared LXE at
+      the start; ReSV prediction queues on the DRE and the fetch it unlocks
+      requests the link at the prediction's end; the stage ends when both
+      the compute job and the fetch (or prediction) resolve.
+    * **overlapping GPU** — the prediction kernels occupy the shared GPU
+      first; at their completion the prefetch requests the link while the
+      dense compute job joins the shared server.
+    * **serial (FlexGen)** — prediction, then compute, both on the shared
+      GPU; the link is requested only when the compute job completes.
+
+    ``on_finish(outcome)`` fires as soon as every end time is known; the
+    outcome's ``finish_s`` may lie in the future (the caller schedules its
+    completion event), exactly like the analytic contended helpers.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        compute_server: PreemptiveResource,
+        dre_queue: ResourceQueue,
+        link_queue: PCIeLinkQueue,
+        *,
+        is_vrex: bool,
+        overlaps: bool,
+        on_dre: bool,
+        compute_s: float,
+        prediction_s: float,
+        fetch_s: float,
+        key: tuple,
+        on_finish,
+    ):
+        self.loop = loop
+        self.compute_server = compute_server
+        self.dre_queue = dre_queue
+        self.link_queue = link_queue
+        self.is_vrex = is_vrex
+        self.overlaps = overlaps
+        self.on_dre = on_dre
+        self.compute_s = compute_s
+        self.prediction_s = prediction_s
+        self.fetch_s = fetch_s
+        self.key = key
+        self.start_s = loop.now_s
+        self.compute_submit_s = self.start_s
+        self.compute_finish_s: float | None = None
+        self.prediction_end_s: float | None = None
+        self.dre_wait_s = 0.0
+        self.transfer: QueuedService | None = None
+        self._chain_end_s: float | None = None
+        self._on_finish = on_finish
+        self._begin()
+
+    # ------------------------------------------------------------------ #
+    def _begin(self) -> None:
+        start = self.start_s
+        if self.is_vrex:
+            # Compute on the shared LXE from the start; prediction on the
+            # DRE; the fetch requests the link when the prediction ends.
+            self._submit_compute()
+            if self.on_dre and self.prediction_s > 0:
+                served = self.dre_queue.enqueue(start, self.prediction_s)
+                self.dre_wait_s = served.wait_s
+                self.prediction_end_s = served.finish_s
+            else:
+                self.prediction_end_s = start + self.prediction_s
+            if self.fetch_s > 0:
+                self.loop.schedule(
+                    self.prediction_end_s,
+                    self._request_link,
+                    priority=PRIO_LINK,
+                    key=self.key,
+                )
+            else:
+                self._chain_end_s = self.prediction_end_s
+            self._maybe_finish()
+        elif self.prediction_s > 0:
+            # GPU: the prediction kernels occupy the shared engine first.
+            self.compute_server.submit(
+                self.prediction_s, self._prediction_done, key=self.key
+            )
+        else:
+            self.prediction_end_s = start
+            self._after_prediction()
+
+    def _prediction_done(self, job) -> None:
+        self.prediction_end_s = job.finish_s
+        self._after_prediction()
+
+    def _after_prediction(self) -> None:
+        if self.overlaps and self.fetch_s > 0:
+            # The prefetch overlaps the compute but must win the link first.
+            self.loop.schedule(
+                self.prediction_end_s,
+                self._request_link,
+                priority=PRIO_LINK,
+                key=self.key,
+            )
+        elif self.overlaps:
+            self._chain_end_s = self.prediction_end_s
+        self._submit_compute()
+
+    def _submit_compute(self) -> None:
+        self.compute_submit_s = self.loop.now_s
+        if self.compute_s > 0:
+            self.compute_server.submit(self.compute_s, self._compute_done, key=self.key)
+        else:
+            self.compute_finish_s = self.loop.now_s
+            self._compute_resolved()
+
+    def _compute_done(self, job) -> None:
+        self.compute_finish_s = job.finish_s
+        self._compute_resolved()
+
+    def _compute_resolved(self) -> None:
+        if not self.is_vrex and not self.overlaps:
+            # FlexGen-style serial prefill requests the link only after its
+            # compute finishes.
+            if self.fetch_s > 0:
+                self.loop.schedule(
+                    self.compute_finish_s,
+                    self._request_link,
+                    priority=PRIO_LINK,
+                    key=self.key,
+                )
+            else:
+                self._chain_end_s = self.compute_finish_s
+        self._maybe_finish()
+
+    def _request_link(self) -> None:
+        self.transfer = self.link_queue.enqueue(self.loop.now_s, self.fetch_s)
+        self._chain_end_s = self.transfer.finish_s
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.compute_finish_s is None or self._chain_end_s is None:
+            return
+        finish = max(self.compute_finish_s, self._chain_end_s)
+        self._on_finish(
+            TimeslicedOutcome(
+                is_vrex=self.is_vrex,
+                overlaps=self.overlaps,
+                start_s=self.start_s,
+                compute_s=self.compute_s,
+                prediction_s=self.prediction_s,
+                fetch_s=self.fetch_s,
+                compute_submit_s=self.compute_submit_s,
+                compute_finish_s=self.compute_finish_s,
+                prediction_end_s=self.prediction_end_s,
+                dre_wait_s=self.dre_wait_s,
+                transfer=self.transfer,
+                finish_s=finish,
+            )
+        )
+
+
+def timesliced_issue(
+    loop: EventLoop,
+    compute_server: PreemptiveResource,
+    dre_queue: ResourceQueue,
+    link_queue: PCIeLinkQueue,
+    *,
+    is_vrex: bool,
+    overlaps: bool,
+    on_dre: bool,
+    compute_s: float,
+    prediction_s: float,
+    fetch_s: float,
+    key: tuple,
+    on_finish,
+) -> None:
+    """Thread one stream's stage through the shared compute/DRE/link servers.
+
+    The time-sliced counterpart of ``contended_issue_timing``: must be
+    called inside an event at the stage's start instant; ``on_finish``
+    receives the :class:`TimeslicedOutcome` once every end time is known.
+    """
+    _TimeslicedStage(
+        loop,
+        compute_server,
+        dre_queue,
+        link_queue,
+        is_vrex=is_vrex,
+        overlaps=overlaps,
+        on_dre=on_dre,
+        compute_s=compute_s,
+        prediction_s=prediction_s,
+        fetch_s=fetch_s,
+        key=key,
+        on_finish=on_finish,
+    )
+
+
 class BatchLatencyModel:
     """Prices whole fleets of heterogeneous streams on one system.
 
@@ -391,9 +742,17 @@ class BatchLatencyModel:
     global ``measured`` calibration is superseded by each stream's profile.
     """
 
-    def __init__(self, base: LatencyModel | None = None, contention: bool = True):
+    def __init__(
+        self,
+        base: LatencyModel | None = None,
+        contention: bool = True,
+        compute: str = "private",
+        quantum_s: float = DEFAULT_QUANTUM_S,
+    ):
         self.base = base or LatencyModel()
         self.contention = contention
+        self.compute = validate_compute_policy(compute)
+        self.quantum_s = validate_quantum(quantum_s)
 
     # ------------------------------------------------------------------ #
     # public steps
@@ -403,6 +762,7 @@ class BatchLatencyModel:
         system: SystemConfig,
         profiles: Sequence[StreamProfile],
         contention: bool | None = None,
+        compute: str | None = None,
     ) -> BatchStepResult:
         """One serving tick: every stream prefills one incoming frame."""
         q_len = self.base.llm.model.tokens_per_frame
@@ -413,6 +773,7 @@ class BatchLatencyModel:
             stage=FRAME_STAGE,
             include_vision=True,
             contention=self._mode(contention),
+            compute=self._compute_mode(compute),
         )
 
     def question_step(
@@ -421,6 +782,7 @@ class BatchLatencyModel:
         profiles: Sequence[StreamProfile],
         question_tokens: int | Sequence[int | None] | None = None,
         contention: bool | None = None,
+        compute: str | None = None,
     ) -> BatchStepResult:
         """Question prefill; per-stream token counts, ``None`` skips a stream."""
         if question_tokens is None:
@@ -436,6 +798,7 @@ class BatchLatencyModel:
             stage=FRAME_STAGE,
             include_vision=False,
             contention=self._mode(contention),
+            compute=self._compute_mode(compute),
         )
 
     def generation_step(
@@ -443,6 +806,7 @@ class BatchLatencyModel:
         system: SystemConfig,
         profiles: Sequence[StreamProfile],
         contention: bool | None = None,
+        compute: str | None = None,
     ) -> BatchStepResult:
         """Time per output token while every stream decodes concurrently."""
         return self._batched_step(
@@ -452,6 +816,7 @@ class BatchLatencyModel:
             stage=GENERATION_STAGE,
             include_vision=False,
             contention=self._mode(contention),
+            compute=self._compute_mode(compute),
         )
 
     def scenario_estimates(
@@ -461,6 +826,7 @@ class BatchLatencyModel:
         frames: int | Sequence[int] | None = None,
         answer_tokens: int | Sequence[int] | None = None,
         contention: bool | None = None,
+        compute: str | None = None,
     ) -> list[StreamScenarioEstimate]:
         """Per-stream end-to-end estimates at the current fleet composition.
 
@@ -477,9 +843,10 @@ class BatchLatencyModel:
             answer_tokens, self.base.streaming.answer_tokens, len(profiles), "answer_tokens"
         )
         mode = self._mode(contention)
-        frame = self.frame_step(system, profiles, contention=mode)
-        question = self.question_step(system, profiles, contention=mode)
-        generation = self.generation_step(system, profiles, contention=mode)
+        policy = self._compute_mode(compute)
+        frame = self.frame_step(system, profiles, contention=mode, compute=policy)
+        question = self.question_step(system, profiles, contention=mode, compute=policy)
+        generation = self.generation_step(system, profiles, contention=mode, compute=policy)
         estimates = []
         for index, profile in enumerate(profiles):
             frame_row = frame.streams[index]
@@ -504,6 +871,9 @@ class BatchLatencyModel:
     # ------------------------------------------------------------------ #
     def _mode(self, contention: bool | None) -> bool:
         return self.contention if contention is None else contention
+
+    def _compute_mode(self, compute: str | None) -> str:
+        return self.compute if compute is None else validate_compute_policy(compute)
 
     @staticmethod
     def _per_stream_counts(value, default: int, num_streams: int, name: str) -> list[int]:
@@ -582,6 +952,7 @@ class BatchLatencyModel:
         stage: str,
         include_vision: bool,
         contention: bool,
+        compute: str = "private",
     ) -> BatchStepResult:
         if not profiles:
             raise ValueError("a batched step needs at least one stream profile")
@@ -590,6 +961,8 @@ class BatchLatencyModel:
             for profile, q_len in zip(profiles, q_lens)
         ]
         oom = self._batched_oom(system, profiles)
+        if contention and compute == "timesliced":
+            return self._timesliced_step(system, demands, stage, include_vision, oom)
         if contention:
             return self._contended_step(system, demands, stage, include_vision, oom)
         return self._aggregated_step(system, demands, stage, include_vision, oom)
@@ -748,14 +1121,21 @@ class BatchLatencyModel:
 
         # Phase 1 — per-stream timing up to the link request.  DRE
         # prediction jobs are issued the moment a stream's LLM phase starts,
-        # so serving them in arrival order IS the DRE's FCFS order.
+        # so serving them in *start-time* order (arrival plus vision, the
+        # same float the event loop keys on) IS the DRE's FCFS order.
         # Simultaneous requests tie-break on session id, keeping the
-        # schedule a function of the fleet rather than the list order.
+        # schedule a function of the fleet rather than the list order and
+        # bit-identical to the event-driven scheduler even when float
+        # addition collapses two nearly-equal offsets onto one instant.
         dre_queue = ResourceQueue(name="dre")
         timings: list[dict | None] = [None] * len(demands)
         for index in sorted(
             range(len(demands)),
-            key=lambda i: (demands[i].profile.arrival_offset_s, demands[i].profile.session_id, i),
+            key=lambda i: (
+                demands[i].profile.arrival_offset_s + vision_each,
+                demands[i].profile.session_id,
+                i,
+            ),
         ):
             demand = demands[index]
             if not demand.active:
@@ -791,24 +1171,7 @@ class BatchLatencyModel:
             profile = demand.profile
             timing = timings[index]
             if timing is None:
-                rows.append(
-                    StreamStepResult(
-                        session_id=profile.session_id,
-                        kv_len=profile.kv_len,
-                        arrival_offset_s=profile.arrival_offset_s,
-                        total_s=0.0,
-                        breakdown={
-                            "vision": 0.0,
-                            "llm_compute": 0.0,
-                            "kv_prediction": 0.0,
-                            "kv_fetch": 0.0,
-                            "kv_prediction_raw": 0.0,
-                            "kv_fetch_raw": 0.0,
-                            "pcie_wait": 0.0,
-                            "dre_wait": 0.0,
-                        },
-                    )
-                )
+                rows.append(_inactive_stream_row(profile))
                 continue
             compute_s = timing["compute_s"]
             prediction_s = timing["prediction_s"]
@@ -861,4 +1224,128 @@ class BatchLatencyModel:
             streams=streams,
             breakdown=breakdown,
             oom=oom,
+        )
+
+    # ------------------------------------------------------------------ #
+    # timesliced mode: contention plus a shared round-robin compute server
+    # ------------------------------------------------------------------ #
+    def _timesliced_step(
+        self,
+        system: SystemConfig,
+        demands: list[_StreamDemand],
+        stage: str,
+        include_vision: bool,
+        oom: bool,
+    ) -> BatchStepResult:
+        base = self.base
+        device = base.device_for(system)
+        num_layers = base.llm.model.num_layers
+        policy = system.policy
+        is_vrex = isinstance(device, VRexAccelerator)
+        overlaps = policy.overlap_fetch or stage == GENERATION_STAGE
+        vision_each = base._vision_time(system, 1)[0] if include_vision else 0.0
+
+        # The step replays the scheduler's event structure for one aligned
+        # (or offset) frame per stream: issue events keyed by
+        # ``(session_id, index)`` submit each stream's stage to the shared
+        # servers, so an aligned single-step scheduler run reproduces this
+        # mode bit for bit (the same code path prices both).
+        loop = EventLoop()
+        dre_queue = ResourceQueue(name="dre")
+        link_queue = PCIeLinkQueue(device.link)
+        compute_server = PreemptiveResource(
+            loop, "compute", quantum_s=self.quantum_s, priority=PRIO_COMPLETE
+        )
+        outcomes: list[TimeslicedOutcome | None] = [None] * len(demands)
+
+        for index, demand in enumerate(demands):
+            if not demand.active:
+                continue
+            key = (demand.profile.session_id, index)
+            start_s = demand.profile.arrival_offset_s + vision_each
+            compute_s = device.dense_time_s(demand.compute_cost) * num_layers
+            prediction_s = base._price_prediction_parts(system, demand.parts) * num_layers
+            fetch_s = demand.fetch_service_s * num_layers
+            on_dre = demand.parts is not None and demand.parts.on_dre
+
+            def issue(
+                compute_s=compute_s,
+                prediction_s=prediction_s,
+                fetch_s=fetch_s,
+                on_dre=on_dre,
+                key=key,
+                index=index,
+            ):
+                timesliced_issue(
+                    loop,
+                    compute_server,
+                    dre_queue,
+                    link_queue,
+                    is_vrex=is_vrex,
+                    overlaps=overlaps,
+                    on_dre=on_dre,
+                    compute_s=compute_s,
+                    prediction_s=prediction_s,
+                    fetch_s=fetch_s,
+                    key=key,
+                    on_finish=lambda outcome, index=index: outcomes.__setitem__(
+                        index, outcome
+                    ),
+                )
+
+            loop.schedule(start_s, issue, priority=PRIO_ISSUE, key=key)
+        loop.run()
+
+        rows: list[StreamStepResult] = []
+        for index, demand in enumerate(demands):
+            profile = demand.profile
+            outcome = outcomes[index]
+            if outcome is None:
+                rows.append(_inactive_stream_row(profile))
+                continue
+            rows.append(
+                StreamStepResult(
+                    session_id=profile.session_id,
+                    kv_len=profile.kv_len,
+                    arrival_offset_s=profile.arrival_offset_s,
+                    total_s=vision_each + outcome.latency_s,
+                    breakdown={
+                        "vision": vision_each,
+                        "llm_compute": outcome.compute_s,
+                        "kv_prediction": outcome.exposed_prediction_s,
+                        "kv_fetch": outcome.exposed_fetch_s,
+                        "kv_prediction_raw": outcome.prediction_s,
+                        "kv_fetch_raw": outcome.fetch_s,
+                        "pcie_wait": outcome.pcie_wait_s,
+                        "dre_wait": outcome.dre_wait_s,
+                        "compute_wait": outcome.compute_wait_s,
+                    },
+                    fetch_bytes=demand.fetch_bytes * num_layers,
+                )
+            )
+
+        arrivals = [row.arrival_offset_s for row in rows]
+        finishes = [row.arrival_offset_s + row.total_s for row in rows]
+        makespan = max(finishes) - min(arrivals) if rows else 0.0
+        breakdown = {
+            "vision": sum(s.breakdown["vision"] for s in rows),
+            "llm_compute": sum(s.breakdown["llm_compute"] for s in rows),
+            "kv_prediction": sum(s.breakdown["kv_prediction"] for s in rows),
+            "kv_fetch": sum(s.breakdown["kv_fetch"] for s in rows),
+            "kv_prediction_raw": sum(s.breakdown["kv_prediction_raw"] for s in rows),
+            "kv_fetch_raw": sum(s.breakdown["kv_fetch_raw"] for s in rows),
+            "pcie_wait": sum(s.pcie_wait_s for s in rows),
+            "dre_wait": sum(s.dre_wait_s for s in rows),
+            "compute_wait": sum(s.compute_wait_s for s in rows),
+            "compute_busy": compute_server.busy_s(),
+        }
+        return BatchStepResult(
+            system=system.name,
+            stage=stage,
+            contention=True,
+            total_s=makespan,
+            streams=rows,
+            breakdown=breakdown,
+            oom=oom,
+            compute="timesliced",
         )

@@ -48,14 +48,28 @@ from typing import Sequence
 import numpy as np
 
 from repro.hw.accelerator import VRexAccelerator
-from repro.hw.event import EventLoop, ReleasableResource, ResourceQueue, Timeline
+from repro.hw.event import (
+    EventLoop,
+    PreemptiveResource,
+    ReleasableResource,
+    ResourceQueue,
+    Timeline,
+)
 from repro.hw.memory.pcie import PCIeLinkQueue
 from repro.sim.batched import (
+    DEFAULT_QUANTUM_S,
+    PRIO_ARRIVAL,
+    PRIO_COMPLETE,
+    PRIO_ISSUE,
+    PRIO_LINK,
     BatchLatencyModel,
     StreamProfile,
     _broadcast_per_stream,
     contended_exposure,
     contended_issue_timing,
+    timesliced_issue,
+    validate_compute_policy,
+    validate_quantum,
 )
 from repro.sim.pipeline import FRAME_STAGE, GENERATION_STAGE
 from repro.sim.systems import SystemConfig
@@ -65,30 +79,41 @@ QUESTION_JOB = "question"
 GENERATION_JOB = "generation"
 
 #: Event priorities at equal times: completions release stream slots before
-#: new arrivals are admitted; all phase-1 issues (DRE requests) precede
-#: phase-2 link requests, mirroring the batched plane's phase order.
-_PRIO_COMPLETE = 0
-_PRIO_ARRIVAL = 1
-_PRIO_ISSUE = 2
-_PRIO_LINK = 3
+#: new arrivals are admitted; all phase-1 issues (DRE/compute submissions)
+#: precede phase-2 link requests, mirroring the batched plane's phase order
+#: (the values are shared with :mod:`repro.sim.batched` so both planes
+#: produce identical schedules).
+_PRIO_COMPLETE = PRIO_COMPLETE
+_PRIO_ARRIVAL = PRIO_ARRIVAL
+_PRIO_ISSUE = PRIO_ISSUE
+_PRIO_LINK = PRIO_LINK
 
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Deadline and admission-control policy of a scheduler run.
+    """Deadline, admission-control and compute policy of a scheduler run.
 
     ``deadline_s`` is the per-job latency budget measured from arrival;
     ``max_queue_depth`` bounds a stream's backlog (arrivals beyond it are
     dropped at admission); ``drop_late`` additionally drops a job whose
     deadline has already passed when it reaches the head of its stream's
     queue (no point serving a frame the user has scrolled past).
+
+    ``compute`` picks the compute-contention policy: ``"private"`` prices
+    the LXE/GPU as free per-stream engines (the optimistic floor), while
+    ``"timesliced"`` makes every stream's dense compute (and, on GPU
+    systems, its prediction kernels) contend on one shared round-robin
+    server with scheduling quantum ``quantum_s``
+    (:class:`repro.hw.event.PreemptiveResource`).
     """
 
     deadline_s: float | None = None
     max_queue_depth: int | None = None
     drop_late: bool = False
+    compute: str = "private"
+    quantum_s: float = DEFAULT_QUANTUM_S
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -99,6 +124,8 @@ class SchedulerConfig:
             )
         if self.drop_late and self.deadline_s is None:
             raise ValueError("drop_late requires a deadline_s")
+        validate_compute_policy(self.compute)
+        validate_quantum(self.quantum_s)
 
 
 @dataclass(frozen=True)
@@ -116,6 +143,7 @@ class JobRecord:
     deadline_missed: bool = False
     pcie_wait_s: float = 0.0
     dre_wait_s: float = 0.0
+    compute_wait_s: float = 0.0
 
     @property
     def sojourn_s(self) -> float:
@@ -293,6 +321,8 @@ class _Job:
         "start_s",
         "timing",
         "pcie_wait_s",
+        "dre_wait_s",
+        "compute_wait_s",
         "remaining",
         "key",
     )
@@ -305,6 +335,8 @@ class _Job:
         self.start_s = arrival_s
         self.timing: dict | None = None
         self.pcie_wait_s = 0.0
+        self.dre_wait_s = 0.0
+        self.compute_wait_s = 0.0
         self.remaining = 0
         self.key = key
 
@@ -456,6 +488,14 @@ class ServingScheduler:
         loop = EventLoop()
         dre = ResourceQueue("dre")
         link = PCIeLinkQueue(device.link)
+        timesliced = cfg.compute == "timesliced"
+        compute_server = (
+            PreemptiveResource(
+                loop, "compute", quantum_s=cfg.quantum_s, priority=_PRIO_COMPLETE
+            )
+            if timesliced
+            else None
+        )
         slots = [ReleasableResource(f"stream{stream}") for stream in range(num_streams)]
         timeline = Timeline()
         records: list[JobRecord] = []
@@ -478,7 +518,8 @@ class ServingScheduler:
                         and sojourn > cfg.deadline_s
                     ),
                     pcie_wait_s=job.pcie_wait_s,
-                    dre_wait_s=job.timing["dre_wait"] if job.timing else 0.0,
+                    dre_wait_s=job.dre_wait_s,
+                    compute_wait_s=job.compute_wait_s,
                 )
             )
 
@@ -516,6 +557,25 @@ class ServingScheduler:
 
         def issue(job: _Job) -> None:
             stage = priced[job.stream][job.kind]
+            if timesliced:
+                name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
+                if stage.vision_s > 0:
+                    timeline.add(name, f"vision:s{job.stream}", job.start_s, stage.vision_s)
+                timesliced_issue(
+                    loop,
+                    compute_server,
+                    dre,
+                    link,
+                    is_vrex=is_vrex,
+                    overlaps=stage.overlaps,
+                    on_dre=stage.on_dre,
+                    compute_s=stage.compute_s,
+                    prediction_s=stage.prediction_s,
+                    fetch_s=stage.fetch_s,
+                    key=job.key,
+                    on_finish=lambda outcome, job=job: resolve_timesliced(job, outcome),
+                )
+                return
             timing = contended_issue_timing(
                 is_vrex=is_vrex,
                 overlaps=stage.overlaps,
@@ -527,6 +587,7 @@ class ServingScheduler:
                 dre_queue=dre,
             )
             job.timing = timing
+            job.dre_wait_s = timing["dre_wait"]
             name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
             if stage.vision_s > 0:
                 timeline.add(name, f"vision:s{job.stream}", job.start_s, stage.vision_s)
@@ -545,6 +606,38 @@ class ServingScheduler:
                 )
             else:
                 resolve(job, None)
+
+        def resolve_timesliced(job: _Job, outcome) -> None:
+            job.pcie_wait_s = outcome.pcie_wait_s
+            job.dre_wait_s = outcome.dre_wait_s
+            job.compute_wait_s = outcome.compute_wait_s
+            name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
+            if outcome.compute_s > 0:
+                # One span on the shared lane per job; the round-robin slices
+                # of concurrent jobs interleave inside their spans.
+                timeline.add(
+                    name,
+                    "compute",
+                    outcome.compute_submit_s,
+                    outcome.compute_finish_s - outcome.compute_submit_s,
+                )
+            if priced[job.stream][job.kind].on_dre and outcome.prediction_s > 0:
+                timeline.add(
+                    name,
+                    "dre",
+                    outcome.prediction_end_s - outcome.prediction_s,
+                    outcome.prediction_s,
+                )
+            if outcome.transfer is not None:
+                timeline.add(
+                    name, "pcie", outcome.transfer.start_s, outcome.transfer.service_s
+                )
+            loop.schedule(
+                outcome.finish_s,
+                lambda job=job, finish_s=outcome.finish_s: finish(job, finish_s),
+                priority=_PRIO_COMPLETE,
+                key=job.key,
+            )
 
         def request_link(job: _Job) -> None:
             transfer = link.enqueue(loop.now_s, job.timing["fetch_s"])

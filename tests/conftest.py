@@ -2,8 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Property-test effort profiles: "dev" keeps the tier-1 suite fast; "ci"
+# (selected with --hypothesis-profile=ci or HYPOTHESIS_PROFILE=ci) runs
+# more examples with a fixed derandomized seed so CI failures reproduce.
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile(
+    "ci", max_examples=120, deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.config import ModelConfig, ReSVConfig
 from repro.core.resv import ReSVRetriever

@@ -180,6 +180,58 @@ class TestScheduledServing:
         with pytest.raises(ValueError):
             scheduled_serving._arrival_traces("fractal", 1.0, 2, 2, 0)
 
+    def test_timesliced_compute_inflates_the_sweep(self):
+        """The same sweep under shared compute can only look worse.
+
+        Both runs disable admission control: with a queue-depth bound the
+        two policies can serve *different* job sets (the slower timesliced
+        run may drop a frame the private run serves), and served-job
+        makespans of different job sets do not bracket.
+        """
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        kwargs = dict(
+            system=system,
+            num_streams=4,
+            frames_per_stream=8,
+            load_factors=(0.9,),
+            max_queue_depth=None,
+        )
+        baseline = scheduled_serving.run(**kwargs)
+        shared = scheduled_serving.run(**kwargs, compute="timesliced")
+        assert shared.compute == "timesliced"
+        for row in shared.rows:
+            reference = baseline.row(row["load"], row["pattern"])
+            assert row["makespan_s"] >= reference["makespan_s"] - 1e-12
+            assert row["events"] > reference["events"]  # round-robin slices
+
+    def test_quantum_sweep_brackets_private_compute(self):
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        sweep = scheduled_serving.run_quantum_sweep(
+            system=system,
+            num_streams=4,
+            frames_per_stream=6,
+            load_factors=(0.7, 0.9),
+            quanta_s=(2e-3, 5e-4),
+            max_queue_depth=None,  # same served set -> true bracket
+        )
+        assert len(sweep.rows) == 2 * 3  # (private + 2 quanta) per load
+        for load in (0.7, 0.9):
+            baseline = sweep.row(load, None)
+            assert baseline["compute"] == "private"
+            for quantum in (2e-3, 5e-4):
+                row = sweep.row(load, quantum)
+                assert row["compute"] == "timesliced"
+                # the private policy lower-brackets every quantum
+                assert row["makespan_s"] >= baseline["makespan_s"] - 1e-12
+        with pytest.raises(KeyError):
+            sweep.row(0.7, 3.3)
+
     def test_main_prints(self, capsys):
         scheduled_serving.main()
         out = capsys.readouterr().out

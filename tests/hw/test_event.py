@@ -1,0 +1,247 @@
+"""Edge-case tests for the event substrate (:mod:`repro.hw.event`).
+
+The serving scheduler's correctness rests on a handful of precise loop
+semantics: deterministic ``(time, priority, key, insertion)`` tie-breaking,
+``run(until_s=...)`` boundary inclusivity, zero-duration pass-through, and
+strict misuse errors on :class:`ReleasableResource`.  The
+:class:`PreemptiveResource` tests pin the round-robin server's contract:
+work conservation (quantum-invariant drain time), exact completion
+accounting, the ``n * w + (n - 1) * q`` sojourn bound, and convergence to
+ideal processor sharing as the quantum shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.event import (
+    EventLoop,
+    PreemptiveResource,
+    ReleasableResource,
+    ResourceQueue,
+    Timeline,
+)
+
+
+class TestEventLoopSemantics:
+    def test_ties_fire_in_priority_then_key_then_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("late-key"), priority=1, key=(9,))
+        loop.schedule(1.0, lambda: fired.append("completion"), priority=0, key=(5,))
+        loop.schedule(1.0, lambda: fired.append("early-key"), priority=1, key=(2,))
+        loop.schedule(1.0, lambda: fired.append("early-key-second"), priority=1, key=(2,))
+        loop.schedule(0.5, lambda: fired.append("earlier-time"), priority=7, key=(99,))
+        loop.run()
+        assert fired == [
+            "earlier-time",
+            "completion",
+            "early-key",
+            "early-key-second",
+            "late-key",
+        ]
+
+    def test_run_until_is_inclusive_and_preserves_later_events(self):
+        loop = EventLoop()
+        fired = []
+        for time_s in (0.5, 1.0, 1.5):
+            loop.schedule(time_s, lambda t=time_s: fired.append(t))
+        assert loop.run(until_s=1.0) == 2  # the event AT the boundary fires
+        assert fired == [0.5, 1.0]
+        assert loop.now_s == 1.0
+        assert len(loop) == 1  # the 1.5 s event stays queued
+        assert loop.run() == 1
+        assert fired == [0.5, 1.0, 1.5]
+        assert loop.events_processed == 3
+
+    def test_run_until_before_first_event_fires_nothing(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        assert loop.run(until_s=1.999) == 0
+        assert loop.now_s == 0.0  # the clock only advances on fired events
+        assert len(loop) == 1
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(0.5, lambda: None)
+
+    def test_events_scheduled_at_now_during_callback_fire(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            loop.schedule(loop.now_s, lambda: fired.append("chained"))
+
+        loop.schedule(1.0, chain)
+        loop.run()
+        assert fired == ["first", "chained"]
+
+
+class TestZeroDuration:
+    def test_zero_service_requests_pass_through_the_queue(self):
+        queue = ResourceQueue()
+        queue.enqueue(0.0, 1.0)
+        passthrough = queue.enqueue(0.5, 0.0)
+        assert passthrough.start_s == 0.5  # does not wait for the busy server
+        assert passthrough.sojourn_s == 0.0
+        assert queue.free_at_s == 1.0
+
+    def test_zero_duration_timeline_tasks_are_recorded(self):
+        timeline = Timeline()
+        task = timeline.add("marker", "resource", 1.0, 0.0)
+        assert task.end_s == 1.0
+        assert timeline.makespan_s == 1.0
+        assert timeline.busy_time_s("resource") == 0.0
+
+    def test_zero_work_preemptive_jobs_complete_instantly_while_busy(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=0.5)
+        server.submit(2.0, key=(0,))
+        finished = []
+        job = server.submit(0.0, callback=finished.append, key=(1,))
+        assert job.done and job.finish_s == 0.0 and finished == [job]
+        loop.run()
+        assert server.jobs[0].finish_s == pytest.approx(2.0)
+
+
+class TestReleasableResourceErrors:
+    def test_release_before_acquire_raises(self):
+        resource = ReleasableResource()
+        with pytest.raises(ValueError):
+            resource.release(0.0)
+
+    def test_double_release_raises(self):
+        resource = ReleasableResource()
+        resource.acquire(0.0, lambda grant: None)
+        resource.release(1.0)
+        with pytest.raises(ValueError):
+            resource.release(2.0)
+
+    def test_release_before_grant_start_raises(self):
+        resource = ReleasableResource()
+        resource.acquire(1.0, lambda grant: None)
+        with pytest.raises(ValueError):
+            resource.release(0.5)
+
+    def test_release_hands_over_to_the_next_waiter(self):
+        resource = ReleasableResource()
+        grants = []
+        resource.acquire(0.0, grants.append)
+        resource.acquire(0.25, grants.append)
+        resource.release(1.0)
+        assert [g.start_s for g in grants] == [0.0, 1.0]
+        assert grants[1].wait_s == pytest.approx(0.75)
+
+
+class TestPreemptiveResource:
+    def test_quantum_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            PreemptiveResource(loop, quantum_s=0.0)
+        with pytest.raises(ValueError):
+            PreemptiveResource(loop, quantum_s=-1.0)
+
+    def test_negative_work_rejected(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop)
+        with pytest.raises(ValueError):
+            server.submit(-0.1)
+
+    def test_round_robin_interleaves_aligned_jobs(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=1.0)
+        jobs = [server.submit(2.0, key=(i,)) for i in range(2)]
+        loop.run()
+        # slices alternate: A[0,1] B[1,2] A[2,3] B[3,4]
+        assert jobs[0].finish_s == pytest.approx(3.0)
+        assert jobs[1].finish_s == pytest.approx(4.0)
+        assert jobs[0].wait_s == 0.0
+        assert jobs[1].wait_s == pytest.approx(1.0)
+        assert server.busy_s() == pytest.approx(4.0)
+
+    def test_completion_is_exact_no_accumulated_float_error(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=0.1)
+        job = server.submit(0.1 * 7)  # 0.7000000000000001-ish work
+        loop.run()
+        assert job.served_s == job.work_s  # assigned exactly, not summed
+        assert job.finish_s == pytest.approx(job.work_s, rel=1e-12)
+
+    def test_late_arrival_waits_for_the_running_slice(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=1.0)
+        server.submit(3.0, key=(0,))
+        late = []
+        loop.schedule(0.5, lambda: late.append(server.submit(1.0, key=(1,))))
+        loop.run()
+        # the running slice ends at 1.0; the late job runs [1, 2]
+        assert late[0].first_start_s == pytest.approx(1.0)
+        assert late[0].finish_s == pytest.approx(2.0)
+
+    @given(
+        works=st.lists(
+            st.floats(min_value=1e-3, max_value=0.2, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ),
+        quantum_s=st.floats(min_value=1e-3, max_value=0.05, allow_nan=False),
+    )
+    def test_drain_time_is_quantum_invariant_and_sojourns_bounded(
+        self, works, quantum_s
+    ):
+        """Work conservation: aligned jobs drain at exactly ``sum(works)``;
+        every sojourn obeys the round-robin bound ``n * w + (n - 1) * q``."""
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=quantum_s)
+        jobs = [server.submit(w, key=(i,)) for i, w in enumerate(works)]
+        loop.run()
+        assert max(j.finish_s for j in jobs) == pytest.approx(sum(works), rel=1e-9)
+        n = len(works)
+        for job in jobs:
+            bound = n * job.work_s + (n - 1) * quantum_s
+            assert job.sojourn_s <= bound + 1e-12
+        assert server.max_slowdown() >= 1.0
+
+    @given(
+        works=st.lists(
+            st.floats(min_value=5e-3, max_value=0.2, allow_nan=False),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_quantum_to_zero_converges_to_processor_sharing(self, works):
+        """RR finish times approach the analytic PS schedule within n * q."""
+
+        def ps_finishes(works):
+            order = np.argsort(np.asarray(works), kind="stable")
+            finishes = {}
+            elapsed = 0.0
+            shortest_done = 0.0
+            remaining = len(works)
+            for index in order:
+                elapsed += (works[index] - shortest_done) * remaining
+                finishes[index] = elapsed
+                shortest_done = works[index]
+                remaining -= 1
+            return [finishes[i] for i in range(len(works))]
+
+        ideal = ps_finishes(works)
+        previous_bound = None
+        for quantum_s in (4e-3, 1e-3, 2.5e-4):
+            loop = EventLoop()
+            server = PreemptiveResource(loop, quantum_s=quantum_s)
+            jobs = [server.submit(w, key=(i,)) for i, w in enumerate(works)]
+            loop.run()
+            error = max(abs(j.finish_s - f) for j, f in zip(jobs, ideal))
+            bound = len(works) * quantum_s
+            assert error <= bound + 1e-12
+            if previous_bound is not None:
+                assert bound < previous_bound  # the guarantee tightens
+            previous_bound = bound

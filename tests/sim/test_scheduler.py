@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim.arrivals import BurstyArrivals, DeterministicArrivals, PoissonArrivals
+from repro.sim.arrivals import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    rate_for_load,
+)
 from repro.sim.batched import BatchLatencyModel, StreamProfile, staggered_arrivals
 from repro.sim.scheduler import (
     FRAME_JOB,
@@ -253,6 +258,176 @@ class TestQuestionsAndGeneration:
             )
 
 
+class TestTimeslicedCompute:
+    """The ``compute="timesliced"`` policy: one shared round-robin engine."""
+
+    @pytest.fixture(scope="class")
+    def timesliced_scheduler(self, plane):
+        return ServingScheduler(plane, SchedulerConfig(compute="timesliced"))
+
+    @pytest.mark.parametrize(
+        "system_name", ["AGX + FlexGen", "AGX + InfiniGen", "AGX + ReKV", "V-Rex8"]
+    )
+    def test_aligned_single_step_matches_timesliced_step(
+        self, plane, timesliced_scheduler, edge, system_name
+    ):
+        """The scheduler and the batched plane share the timesliced code
+        path, so the degenerate case agrees to the last bit."""
+        system = edge[system_name]
+        profiles = _fleet([40_000, 25_000, 10_000, 40_000])
+        step = plane.frame_step(system, profiles, compute="timesliced")
+        result = timesliced_scheduler.run(system, profiles, [[0.0]] * len(profiles))
+        assert step.compute == "timesliced"
+        for row in step.streams:
+            record = result.jobs(stream_index=row.session_id)[0]
+            assert record.sojourn_s == pytest.approx(row.total_s, rel=REL_TOL)
+            assert record.pcie_wait_s == pytest.approx(row.pcie_wait_s, abs=1e-15)
+            assert record.dre_wait_s == pytest.approx(row.dre_wait_s, abs=1e-15)
+            assert record.compute_wait_s == pytest.approx(
+                row.compute_wait_s, abs=1e-15
+            )
+        assert result.makespan_s == pytest.approx(step.total_s, rel=REL_TOL)
+
+    def test_shared_compute_couples_streams(self, plane, timesliced_scheduler, edge):
+        """An aligned competitor inflates a stream's compute wait; under the
+        private policy the same fleet pays no compute wait at all."""
+        system = edge["AGX + FlexGen"]
+        profiles = _fleet([40_000, 40_000])
+        traces = [[0.0], [0.0]]
+        shared = timesliced_scheduler.run(system, profiles, traces)
+        private = ServingScheduler(plane).run(system, profiles, traces)
+        assert all(r.compute_wait_s == 0.0 for r in private.records)
+        assert max(r.compute_wait_s for r in shared.records) > 0.0
+        assert shared.makespan_s >= private.makespan_s - 1e-15
+
+    def test_timesliced_makespan_never_below_private(self, plane, edge):
+        """The bracket ordering on a multi-frame stochastic trace."""
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 25_000, 10_000])
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = PoissonArrivals(rate_hz=rate_for_load(0.9, solo, 3)).generate(
+            3, 6, seed=21
+        )
+        private = ServingScheduler(plane).run(system, profiles, traces)
+        shared = ServingScheduler(
+            plane, SchedulerConfig(compute="timesliced")
+        ).run(system, profiles, traces)
+        assert private.makespan_s <= shared.makespan_s * (1 + REL_TOL)
+
+    def test_generation_chains_through_shared_server(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([30_000, 30_000])
+        scheduler = ServingScheduler(plane, SchedulerConfig(compute="timesliced"))
+        result = scheduler.run(
+            system,
+            profiles,
+            [[0.0], [0.0]],
+            question_arrivals=[1.0, 1.0],
+            answer_tokens=2,
+        )
+        kinds = [record.kind for record in result.records]
+        assert kinds.count(GENERATION_JOB) == 4
+        for stream in (0, 1):
+            generations = result.jobs(stream_index=stream, kind=GENERATION_JOB)
+            question = result.jobs(stream_index=stream, kind=QUESTION_JOB)[0]
+            assert generations[0].arrival_s == pytest.approx(question.finish_s)
+
+    def test_timeline_records_the_shared_compute_lane(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 40_000])
+        scheduler = ServingScheduler(plane, SchedulerConfig(compute="timesliced"))
+        result = scheduler.run(system, profiles, [[0.0], [0.0]])
+        assert result.timeline.busy_time_s("compute") > 0.0
+        assert result.timeline.busy_time_s("pcie") > 0.0
+
+    def test_deterministic_given_same_traces(self, plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 20_000])
+        traces = BurstyArrivals(burst_rate_hz=20.0, mean_idle_s=0.3).generate(
+            2, 6, seed=13
+        )
+        scheduler = ServingScheduler(plane, SchedulerConfig(compute="timesliced"))
+        first = scheduler.run(system, profiles, traces)
+        second = scheduler.run(system, profiles, traces)
+        assert len(first.records) == len(second.records)
+        for a, b in zip(first.records, second.records):
+            assert a == b
+
+
+class TestGoldenRegression:
+    """Seeded end-to-end pins: refactors of the event loop cannot silently
+    shift percentiles, miss/drop rates, or the event count."""
+
+    KV_LENS = (40_000, 30_000, 20_000, 10_000)
+    #: (compute, expected) — values produced by the run this test pins.
+    EXPECTED = {
+        "private": {
+            "served": 47,
+            "dropped": 1,
+            "events": 154,
+            "p50_ms": 99.746575103695,
+            "p95_ms": 417.611354474042,
+            "p99_ms": 607.8346069980546,
+            "mean_ms": 171.51925531400184,
+            "miss_rate": 0.02127659574468085,
+            "drop_rate": 0.020833333333333332,
+            "makespan_s": 6.1676082095501945,
+        },
+        "timesliced": {
+            "served": 45,
+            "dropped": 3,
+            "events": 4005,
+            "p50_ms": 322.6714352942235,
+            "p95_ms": 581.8195129650735,
+            "p99_ms": 712.6241358310617,
+            "mean_ms": 320.2660132681701,
+            "miss_rate": 0.08888888888888889,
+            "drop_rate": 0.0625,
+            "makespan_s": 6.94516790759292,
+        },
+    }
+
+    @pytest.mark.parametrize("compute", ["private", "timesliced"])
+    def test_seeded_run_reproduces_exact_statistics(self, plane, edge, compute):
+        system = edge["V-Rex8"]
+        profiles = _fleet(list(self.KV_LENS))
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = BurstyArrivals.for_mean_rate(
+            rate_for_load(1.4, solo, len(profiles))
+        ).generate(len(profiles), 8, seed=11)
+        question_time = max(float(trace[-1]) for trace in traces)
+        scheduler = ServingScheduler(
+            plane,
+            SchedulerConfig(
+                deadline_s=2.0 * solo,
+                max_queue_depth=2,
+                compute=compute,
+                quantum_s=1e-3,
+            ),
+        )
+        result = scheduler.run(
+            system,
+            profiles,
+            traces,
+            question_arrivals=[question_time] * len(profiles),
+            answer_tokens=3,
+        )
+        fleet = result.fleet_summary()
+        expected = self.EXPECTED[compute]
+        assert result.served == expected["served"]
+        assert result.dropped == expected["dropped"]
+        assert result.events_processed == expected["events"]
+        assert fleet.p50_ms == pytest.approx(expected["p50_ms"], rel=1e-12)
+        assert fleet.p95_ms == pytest.approx(expected["p95_ms"], rel=1e-12)
+        assert fleet.p99_ms == pytest.approx(expected["p99_ms"], rel=1e-12)
+        assert fleet.mean_ms == pytest.approx(expected["mean_ms"], rel=1e-12)
+        assert fleet.deadline_miss_rate == pytest.approx(
+            expected["miss_rate"], rel=1e-12
+        )
+        assert fleet.drop_rate == pytest.approx(expected["drop_rate"], rel=1e-12)
+        assert result.makespan_s == pytest.approx(expected["makespan_s"], rel=1e-12)
+
+
 class TestAdmissionControl:
     def test_queue_depth_bound_drops_excess_frames(self, plane, edge):
         system = edge["V-Rex8"]
@@ -302,6 +477,28 @@ class TestAdmissionControl:
             SchedulerConfig(max_queue_depth=-1)
         with pytest.raises(ValueError):
             SchedulerConfig(drop_late=True)
+
+    def test_compute_policy_validation(self):
+        with pytest.raises(ValueError, match="compute policy"):
+            SchedulerConfig(compute="batched")
+        with pytest.raises(ValueError, match="quantum_s"):
+            SchedulerConfig(quantum_s=0.0)
+        with pytest.raises(ValueError, match="quantum_s"):
+            SchedulerConfig(compute="timesliced", quantum_s=-1e-3)
+        # valid policies construct fine
+        assert SchedulerConfig(compute="timesliced", quantum_s=5e-4).quantum_s == 5e-4
+
+    def test_plane_compute_policy_validation(self, plane, edge):
+        with pytest.raises(ValueError, match="compute policy"):
+            BatchLatencyModel(compute="roundrobin")
+        with pytest.raises(ValueError, match="quantum_s"):
+            BatchLatencyModel(quantum_s=0.0)
+        with pytest.raises(ValueError, match="compute policy"):
+            plane.frame_step(
+                edge["V-Rex8"],
+                [StreamProfile(kv_len=10_000)],
+                compute="microbatched",
+            )
 
 
 class TestInputValidation:
