@@ -1,0 +1,187 @@
+"""Sharded memory-plane throughput and sweep cost.
+
+Measures three things and writes them to ``BENCH_memory.json``:
+
+* **fetch-pricing throughput** — sharded fetch makespans priced per second
+  through ``KVMUModel.sharded_fetch_time_s`` at 1/2/4/8 banks (the inner
+  pricing call every memory-aware step pays per stream per job);
+* **event rate** — scheduler events processed per second while simulating
+  a memory-bound bursty fleet on the server V-Rex48 deployment at several
+  bank counts, under both admission policies (``backlog`` vs the
+  residency-aware controller) — the sharded counterpart of
+  ``bench_scheduler.py``'s rows;
+* **sweep time** — wall-clock seconds of one end-to-end
+  ``experiments.sharded_memory`` sweep (all bank counts, both admission
+  policies), the figure-level cost the CI smoke keeps bounded.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_memory.py [--smoke]
+
+``--smoke`` runs a seconds-scale subset with sanity assertions (sharded
+rows must actually be produced) and skips the JSON write; CI uses it to
+keep the sharded memory path exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.experiments import sharded_memory  # noqa: E402
+from repro.hw.dre.kvmu import KVFetchWork, KVMUModel  # noqa: E402
+from repro.hw.memory.pcie import PCIE4_X16, PCIeLink  # noqa: E402
+from repro.hw.memory.sharding import ShardedKVHierarchy  # noqa: E402
+from repro.sim.arrivals import BurstyArrivals, rate_for_load  # noqa: E402
+from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler  # noqa: E402
+from repro.sim.systems import server_systems  # noqa: E402
+from repro.sim.workload import default_llm_workload  # noqa: E402
+
+GiB = 1024.0**3
+
+
+def fetch_pricing_rate(num_banks: int, repeats: int) -> dict:
+    """Sharded fetch makespans priced per second at one bank count."""
+    kvmu = KVMUModel(PCIeLink(PCIE4_X16))
+    hierarchy = ShardedKVHierarchy(num_banks=num_banks)
+    hierarchy.register(0, 4.0 * GiB, num_clusters=1_250)
+    split = hierarchy.fetch_split(0)
+    work = KVFetchWork(17_797_840.0, 131_072.0)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fetch_time = kvmu.sharded_fetch_time_s(work, split)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_banks": num_banks,
+        "prices_per_s": repeats / elapsed,
+        "fetch_time_ms": fetch_time * 1e3,
+    }
+
+
+def scheduler_event_rate(
+    num_banks: int,
+    admission: str,
+    num_streams: int,
+    frames_per_stream: int,
+    repeats: int,
+    bank_budget_gib: float = 4.5,
+) -> dict:
+    """Events/sec of a memory-bound scheduler run at one bank count."""
+    system = server_systems(default_llm_workload().model_bytes())["V-Rex48"]
+    plane = BatchLatencyModel(
+        memory=ShardedKVHierarchy(
+            num_banks=num_banks, bank_budget_bytes=bank_budget_gib * GiB
+        )
+    )
+    profiles = [
+        StreamProfile(kv_len=40_000, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    scheduler = ServingScheduler(
+        plane,
+        SchedulerConfig(
+            deadline_s=2.0 * solo, max_queue_depth=3, admission=admission
+        ),
+    )
+    traces = BurstyArrivals.for_mean_rate(
+        rate_for_load(1.2, solo, num_streams)
+    ).generate(num_streams, frames_per_stream, seed=7)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = scheduler.run(system, profiles, traces)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_banks": num_banks,
+        "admission": admission,
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "events_per_run": result.events_processed,
+        "events_per_s": result.events_processed * repeats / elapsed,
+        "jobs_per_s": num_streams * frames_per_stream * repeats / elapsed,
+        "run_ms": elapsed / repeats * 1e3,
+        "evictions": len(result.memory.evictions),
+        "fleet_p99_ms": result.fleet_summary().p99_ms,
+    }
+
+
+def sweep_time(smoke: bool) -> dict:
+    """End-to-end cost of one sharded-memory sweep."""
+    kwargs = (
+        {"num_streams": 4, "frames_per_stream": 5, "bank_counts": (1, 2)}
+        if smoke
+        else {}
+    )
+    start = time.perf_counter()
+    result = sharded_memory.run(**kwargs)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_streams": result.num_streams,
+        "frames_per_stream": result.frames_per_stream,
+        "rows": len(result.rows),
+        "sweep_s": elapsed,
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    results: dict = {"pricing": [], "scheduler": [], "sweep": None}
+    pricing_repeats = 2_000 if smoke else 20_000
+    for num_banks in (1, 2, 4, 8):
+        row = fetch_pricing_rate(num_banks, pricing_repeats)
+        results["pricing"].append(row)
+        print(
+            f"pricing {row['num_banks']} banks: {row['prices_per_s']:,.0f} prices/s "
+            f"(fetch {row['fetch_time_ms']:.2f} ms)"
+        )
+    fleet = (4, 5, 3) if smoke else (6, 8, 10)
+    num_streams, frames, repeats = fleet
+    for num_banks in (1, 2, 4):
+        for admission in ("backlog", "residency"):
+            row = scheduler_event_rate(num_banks, admission, num_streams, frames, repeats)
+            results["scheduler"].append(row)
+            print(
+                f"scheduler {row['num_banks']} banks [{admission}]: "
+                f"{row['events_per_s']:,.0f} events/s, {row['jobs_per_s']:,.0f} jobs/s "
+                f"({row['run_ms']:.1f} ms/run, {row['evictions']} evictions)"
+            )
+    results["sweep"] = sweep_time(smoke)
+    print(
+        f"sharded-memory sweep ({results['sweep']['rows']} rows): "
+        f"{results['sweep']['sweep_s']:.2f} s"
+    )
+    if smoke:
+        assert all(row["prices_per_s"] > 0 for row in results["pricing"])
+        # sharded rows must actually be produced
+        sharded = [row for row in results["scheduler"] if row["num_banks"] > 1]
+        assert sharded, "no sharded scheduler rows produced"
+        assert all(row["events_per_s"] > 0 for row in results["scheduler"])
+        assert {row["admission"] for row in results["scheduler"]} == {
+            "backlog",
+            "residency",
+        }
+        # bounded banks in a memory-bound fleet must demote something
+        assert any(row["evictions"] > 0 for row in sharded)
+        assert results["sweep"]["rows"] > 0
+        # pricing a wider fan-out never slows the modelled fetch down
+        times = [row["fetch_time_ms"] for row in results["pricing"]]
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(times, times[1:]))
+        print("smoke ok")
+    return results
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    results = run(smoke=smoke)
+    if not smoke:
+        output = REPO_ROOT / "BENCH_memory.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ from repro.analysis.breakdown import (
 )
 from repro.analysis.latency import (
     deadline_miss_rate,
+    format_bank_occupancy_table,
     format_latency_summary_table,
     format_schedule_record_table,
     latency_percentiles,
@@ -35,6 +36,7 @@ __all__ = [
     "batch_summary",
     "deadline_miss_rate",
     "efficiency_gain",
+    "format_bank_occupancy_table",
     "format_breakdown",
     "format_latency_summary_table",
     "format_schedule_record_table",

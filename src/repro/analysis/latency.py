@@ -78,6 +78,27 @@ def format_latency_summary_table(summaries, title: str | None = None) -> str:
     return format_table(headers, rows, title=title)
 
 
+def format_bank_occupancy_table(
+    trajectory, title: str | None = None, limit: int = 20
+) -> str:
+    """Fixed-width table of a per-bank occupancy trajectory.
+
+    ``trajectory`` is a list of ``(time_s, per_bank_bytes)`` points — the
+    :class:`~repro.sim.scheduler.ScheduleResult.bank_occupancy_trajectory`
+    a memory-aware scheduler run records at every warm-occupancy change
+    (registration, cold-shard eviction, promotion).  Occupancies print in
+    GiB; only the first ``limit`` points are shown.
+    """
+    points = list(trajectory)[:limit]
+    num_banks = len(points[0][1]) if points else 0
+    headers = ["time s"] + [f"bank{bank} GiB" for bank in range(num_banks)]
+    rows = [
+        [time_s] + [occupancy / 1024.0**3 for occupancy in occupancies]
+        for time_s, occupancies in points
+    ]
+    return format_table(headers, rows, title=title)
+
+
 def format_schedule_record_table(records, title: str | None = None, limit: int = 20) -> str:
     """Per-job table of the first ``limit`` schedule records."""
     headers = [

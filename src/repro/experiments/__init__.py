@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401
     fig19_resv_ablation,
     fig20_retrieval_ratio,
     scheduled_serving,
+    sharded_memory,
     table02_accuracy,
     table03_area_power,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "fig19_resv_ablation",
     "fig20_retrieval_ratio",
     "scheduled_serving",
+    "sharded_memory",
     "table02_accuracy",
     "table03_area_power",
 ]

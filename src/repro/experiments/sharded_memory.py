@@ -1,0 +1,204 @@
+"""Sharded-memory sweep — bank count × warm capacity × admission policy.
+
+The ROADMAP's "cache sharding" + "cache-sharding admission" unlocks: the
+fleet's offloaded KV shards are partitioned cluster-wise across N memory
+banks (:class:`repro.hw.memory.sharding.ShardedKVHierarchy`), and the
+serving scheduler's admission control optionally trades each stream's
+shard residency against the compute backlog it would join
+(``SchedulerConfig(admission="residency")``).  This driver sweeps the two
+knobs an operator owns:
+
+* **bank count** — at a fixed per-bank budget, more banks buy both warm
+  capacity (fewer cold SSD-tier fetches) and fetch parallelism (a
+  cluster-aligned retrieval fans out into one transfer per bank);
+* **admission policy** — ``"backlog"`` serves every admitted frame even
+  when its shards are cold and its deadline hopeless; ``"residency"``
+  defers doomed jobs and evicts colder shards to promote streams that can
+  still meet their deadlines.
+
+Each operating point reports the latency distribution (p50/p95/p99),
+deadline-miss/drop/defer rates, eviction counts and the peak per-bank
+occupancy.  An unbounded single-bank baseline row reproduces the
+memory-less scheduler exactly (the degenerate configuration PR-pinned in
+``tests/sim/test_sharded_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.hw.memory.sharding import ShardedKVHierarchy
+from repro.sim.arrivals import BurstyArrivals, rate_for_load
+from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler
+from repro.sim.systems import SystemConfig, server_systems
+from repro.sim.workload import default_llm_workload
+
+GiB = 1024.0**3
+
+DEFAULT_BANK_COUNTS = (1, 2, 4)
+ADMISSION_POLICIES = ("backlog", "residency")
+
+
+@dataclass
+class ShardedMemoryResult:
+    """Sweep results for one system at one per-stream cache length."""
+
+    system: str
+    kv_len: int
+    num_streams: int
+    frames_per_stream: int
+    solo_latency_s: float
+    deadline_s: float
+    bank_budget_gib: float
+    #: one row per (num_banks, admission) plus the unbounded baseline
+    rows: list[dict] = field(default_factory=list)
+
+    def row(self, num_banks: int, admission: str, bounded: bool = True) -> dict:
+        for row in self.rows:
+            if (
+                row["num_banks"] == num_banks
+                and row["admission"] == admission
+                and row["bounded"] == bounded
+            ):
+                return row
+        raise KeyError(
+            f"no row for {num_banks} banks, admission {admission!r}, bounded={bounded}"
+        )
+
+
+def run(
+    system: SystemConfig | None = None,
+    kv_len: int = 40_000,
+    num_streams: int = 6,
+    frames_per_stream: int = 8,
+    bank_counts=DEFAULT_BANK_COUNTS,
+    bank_budget_gib: float = 4.5,
+    load_factor: float = 1.2,
+    deadline_multiple: float = 2.0,
+    max_queue_depth: int | None = 3,
+    seed: int = 7,
+) -> ShardedMemoryResult:
+    """Sweep bank count and admission policy for one memory-bound fleet."""
+    if system is None:
+        system = server_systems(default_llm_workload().model_bytes())["V-Rex48"]
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo_plane = BatchLatencyModel()
+    solo = solo_plane.frame_step(system, profiles[:1]).streams[0].total_s
+    deadline = deadline_multiple * solo
+    traces = BurstyArrivals.for_mean_rate(
+        rate_for_load(load_factor, solo, num_streams)
+    ).generate(num_streams, frames_per_stream, seed=seed)
+    result = ShardedMemoryResult(
+        system=system.name,
+        kv_len=kv_len,
+        num_streams=num_streams,
+        frames_per_stream=frames_per_stream,
+        solo_latency_s=solo,
+        deadline_s=deadline,
+        bank_budget_gib=bank_budget_gib,
+    )
+
+    def operating_point(num_banks: int, budget_bytes: float, bounded: bool) -> None:
+        plane = BatchLatencyModel(
+            memory=ShardedKVHierarchy(
+                num_banks=num_banks, bank_budget_bytes=budget_bytes
+            )
+        )
+        for admission in ADMISSION_POLICIES:
+            config = SchedulerConfig(
+                deadline_s=deadline,
+                max_queue_depth=max_queue_depth,
+                admission=admission,
+            )
+            schedule = ServingScheduler(plane, config).run(system, profiles, traces)
+            fleet = schedule.fleet_summary()
+            peak = max(
+                (max(occ) for _, occ in schedule.bank_occupancy_trajectory),
+                default=0.0,
+            )
+            result.rows.append(
+                {
+                    "num_banks": num_banks,
+                    "bounded": bounded,
+                    "bank_budget_gib": budget_bytes / GiB,
+                    "admission": admission,
+                    "p50_ms": fleet.p50_ms,
+                    "p95_ms": fleet.p95_ms,
+                    "p99_ms": fleet.p99_ms,
+                    "mean_ms": fleet.mean_ms,
+                    "miss_rate": fleet.deadline_miss_rate,
+                    "drop_rate": fleet.drop_rate,
+                    "deferred": schedule.deferred,
+                    "evict_admissions": schedule.evict_admissions,
+                    "evictions": len(schedule.memory.evictions),
+                    "peak_bank_occupancy_gib": peak / GiB,
+                    "makespan_s": schedule.makespan_s,
+                    "events": schedule.events_processed,
+                }
+            )
+
+    # unbounded single-bank baseline: the memory-less degenerate case
+    operating_point(1, float("inf"), bounded=False)
+    for num_banks in bank_counts:
+        operating_point(num_banks, bank_budget_gib * GiB, bounded=True)
+    return result
+
+
+def main() -> ShardedMemoryResult:
+    """Print the bank-count × admission sweep for the server deployment."""
+    result = run()
+    rows = [
+        [
+            "∞" if not row["bounded"] else row["num_banks"],
+            "∞" if not row["bounded"] else f"{row['bank_budget_gib']:g}",
+            row["admission"],
+            row["p50_ms"],
+            row["p95_ms"],
+            row["p99_ms"],
+            100.0 * row["miss_rate"],
+            100.0 * row["drop_rate"],
+            row["deferred"],
+            row["evictions"],
+            row["peak_bank_occupancy_gib"],
+        ]
+        for row in result.rows
+    ]
+    print(
+        format_table(
+            [
+                "banks",
+                "GiB/bank",
+                "admission",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "miss %",
+                "drop %",
+                "defers",
+                "evicts",
+                "peak GiB",
+            ],
+            rows,
+            title=(
+                f"Sharded memory — {result.system}, {result.num_streams} streams, "
+                f"{result.kv_len // 1000}K cache/stream, "
+                f"deadline {result.deadline_s * 1e3:.0f} ms"
+            ),
+        )
+    )
+    bounded = [row for row in result.rows if row["bounded"]]
+    best = min(bounded, key=lambda row: row["miss_rate"])
+    print(
+        f"  best bounded point: {best['num_banks']} banks with "
+        f"{best['admission']} admission — miss {100 * best['miss_rate']:.1f}%, "
+        f"p99 {best['p99_ms']:.0f} ms"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

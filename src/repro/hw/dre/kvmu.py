@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.memory.pcie import PCIeLink
+from repro.hw.memory.sharding import ShardSplit, sharded_fetch_makespan
 from repro.hw.memory.ssd import SSDModel
 
 
@@ -79,6 +80,27 @@ class KVMUModel:
         # The SSD read and the PCIe transfer are pipelined; the slower stage
         # dominates.
         return max(pcie_time, self.ssd_time_s(work))
+
+    def sharded_fetch_time_s(self, work: KVFetchWork, split: ShardSplit) -> float:
+        """Makespan of a fetch fanned out across parallel memory banks.
+
+        Each bank's warm share moves over its own channel at this fetch's
+        achievable contiguity; the cold share streams from the SSD tier
+        concurrently.  With the degenerate fully-warm single-bank split
+        this equals :meth:`fetch_time_s` bit for bit.
+        """
+
+        def warm(num_bytes: float) -> float:
+            return self.fetch_time_s(
+                KVFetchWork(num_bytes, work.mean_contiguous_bytes, work.from_ssd)
+            )
+
+        def cold(num_bytes: float) -> float:
+            return self.fetch_time_s(
+                KVFetchWork(num_bytes, work.mean_contiguous_bytes, from_ssd=True)
+            )
+
+        return sharded_fetch_makespan(work.total_bytes, split, warm, cold)
 
     def offload_time_s(self, num_bytes: float) -> float:
         """Seconds to stream newly evicted KV entries out (write path).

@@ -339,6 +339,19 @@ class PreemptiveResource:
         """Total service time delivered so far."""
         return sum(job.served_s for job in self.jobs)
 
+    def backlog_s(self) -> float:
+        """Unserved work currently in the system (running plus ready queue).
+
+        The residency-aware admission controller reads this as "the compute
+        backlog a newly admitted stream would join"; progress inside the
+        current slice is not counted (served time updates at slice ends),
+        which keeps the quantity an exact function of fired events.
+        """
+        total = sum(job.work_s - job.served_s for job in self._ready)
+        if self._running is not None:
+            total += self._running.work_s - self._running.served_s
+        return total
+
     def max_slowdown(self) -> float:
         """Largest completed-job slowdown (1.0 when nothing finished)."""
         slowdowns = [job.slowdown for job in self.jobs if job.done and job.work_s > 0]

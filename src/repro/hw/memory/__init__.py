@@ -1,14 +1,22 @@
-"""Memory-system models: device DRAM, NVMe SSD, PCIe link, KV hierarchy."""
+"""Memory-system models: DRAM, SSD, PCIe, KV hierarchy, sharded banks."""
 
 from repro.hw.memory.dram import DDR4_CPU, HBM2E, LPDDR5, DRAMConfig, DRAMModel
 from repro.hw.memory.hierarchy import FetchResult, HierarchicalKVManager
 from repro.hw.memory.pcie import PCIE3_X4, PCIE4_X16, PCIeConfig, PCIeLink
+from repro.hw.memory.sharding import (
+    EvictionRecord,
+    ShardedKVHierarchy,
+    ShardSplit,
+    partition_by_cluster,
+    sharded_fetch_makespan,
+)
 from repro.hw.memory.ssd import SSDConfig, SSDModel
 
 __all__ = [
     "DDR4_CPU",
     "DRAMConfig",
     "DRAMModel",
+    "EvictionRecord",
     "FetchResult",
     "HBM2E",
     "HierarchicalKVManager",
@@ -19,4 +27,8 @@ __all__ = [
     "PCIeLink",
     "SSDConfig",
     "SSDModel",
+    "ShardSplit",
+    "ShardedKVHierarchy",
+    "partition_by_cluster",
+    "sharded_fetch_makespan",
 ]

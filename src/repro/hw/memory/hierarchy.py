@@ -56,7 +56,11 @@ class HierarchicalKVManager:
     device_budget_bytes: float
     cluster_mapping: bool = True
     _num_tokens: int = 0
-    _cluster_of_token: dict[int, int] = field(default_factory=dict)
+    #: Cluster id of every token in arrival order (``-1`` = no cluster).
+    _cluster_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    _num_clustered: int = 0
     _offloaded_before: int = 0
 
     @property
@@ -71,6 +75,22 @@ class HierarchicalKVManager:
     def offloaded_tokens(self) -> int:
         return self._offloaded_before
 
+    @staticmethod
+    def _validated_cluster_ids(cluster_ids, num_new_tokens: int) -> np.ndarray:
+        cluster_ids = np.asarray(cluster_ids)
+        if cluster_ids.ndim != 1:
+            raise ValueError(
+                f"cluster_ids must be 1-D, got {cluster_ids.ndim} dimensions"
+            )
+        if cluster_ids.shape[0] != num_new_tokens:
+            raise ValueError("cluster_ids length must match num_new_tokens")
+        ids = cluster_ids.astype(np.int64)
+        if cluster_ids.size and np.any(ids != cluster_ids):
+            raise ValueError("cluster_ids must be integers")
+        if cluster_ids.size and ids.min() < 0:
+            raise ValueError("cluster_ids must be non-negative")
+        return ids
+
     def append(self, num_new_tokens: int, cluster_ids: np.ndarray | None = None) -> int:
         """Add new tokens (optionally with cluster assignments); returns evictions.
 
@@ -79,20 +99,18 @@ class HierarchicalKVManager:
         """
         if num_new_tokens < 0:
             raise ValueError("num_new_tokens must be non-negative")
-        start = self._num_tokens
         if cluster_ids is not None:
-            cluster_ids = np.asarray(cluster_ids)
-            if cluster_ids.shape[0] != num_new_tokens:
-                raise ValueError("cluster_ids length must match num_new_tokens")
-            for offset, cluster in enumerate(cluster_ids):
-                self._cluster_of_token[start + offset] = int(cluster)
+            ids = self._validated_cluster_ids(cluster_ids, num_new_tokens)
+            self._num_clustered += int(ids.size)
+        else:
+            ids = np.full(num_new_tokens, -1, dtype=np.int64)
+        self._cluster_ids = np.concatenate([self._cluster_ids, ids])
         self._num_tokens += num_new_tokens
 
-        evicted = 0
         budget_tokens = int(self.device_budget_bytes // max(self.bytes_per_token, 1.0))
-        while self.resident_tokens > budget_tokens and self._offloaded_before < self._num_tokens:
-            self._offloaded_before += 1
-            evicted += 1
+        target = min(max(self._num_tokens - budget_tokens, 0), self._num_tokens)
+        evicted = max(target - self._offloaded_before, 0)
+        self._offloaded_before += evicted
         return evicted
 
     def is_resident(self, token_index: int) -> bool:
@@ -133,12 +151,12 @@ class HierarchicalKVManager:
         """
         if offchip.size == 0:
             return []
-        if self.cluster_mapping and self._cluster_of_token:
-            groups: dict[int, list[int]] = {}
-            for token in offchip:
-                cluster = self._cluster_of_token.get(int(token), -1)
-                groups.setdefault(cluster, []).append(int(token))
-            return [np.asarray(tokens) for tokens in groups.values()]
+        if self.cluster_mapping and self._num_clustered > 0:
+            clusters = self._cluster_ids[offchip]
+            _, inverse = np.unique(clusters, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            boundaries = np.cumsum(np.bincount(inverse))[:-1]
+            return list(np.split(offchip[order], boundaries))
         # Arrival-order layout: coalesce only consecutive indices.
         splits = np.nonzero(np.diff(offchip) > 1)[0] + 1
         return list(np.split(offchip, splits))

@@ -1,0 +1,382 @@
+"""Sharded device-memory plane: offloaded KV shards across memory banks.
+
+The KVMU's cluster-wise mapping (:mod:`repro.hw.memory.hierarchy`) lays a
+*single* offload target out so that retrieving a cluster is one contiguous
+transfer.  A production deployment has several such targets — CPU memory
+banks, NUMA nodes, peer devices — and a single 40k+-token stream's
+offloaded cache can exceed any one of them.  :class:`ShardedKVHierarchy`
+partitions each session's offloaded KV cache (and its HC tables) across
+``num_banks`` banks using the **cluster id as the partitioning key**
+(cluster ``c`` lives in bank ``c % num_banks``), so one cluster's tokens
+never straddle banks and a retrieval fans out into at most one contiguous
+transfer per bank, served in parallel.
+
+Three tiers are modelled:
+
+* **hot** — tokens resident in device DRAM (the per-stream
+  ``kv_device_budget_bytes`` window).  Hot bytes are owned by the device's
+  own hierarchy and are *never* touched by bank eviction.
+* **warm** — offloaded shards currently held in a bank, fetched at the
+  system's offload-target pricing (CPU memory or SSD over PCIe).
+* **cold** — shards demoted out of a full bank onto the SSD tier, fetched
+  at SSD pricing until promoted back.
+
+Banks enforce per-bank capacity budgets.  Registration fills banks
+first-come-first-served; **cold-shard eviction** demotes the
+least-recently-used sessions' per-bank shards when a later promotion needs
+the space.  All tie-breaking is keyed on session id, so shard placement —
+and every admission decision derived from it — is a function of the fleet,
+never of the caller's listing order.
+
+The degenerate configuration (``num_banks=1`` with the default unbounded
+budget) keeps every session fully warm in one bank; the fetch makespan of
+that split equals the single-channel fetch time bit for bit, which is how
+the batched plane's memory-aware mode and the serving scheduler reproduce
+the existing contended and time-sliced results exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShardSplit:
+    """How one session's next fetch splits across the memory tiers.
+
+    ``warm_fractions[b]`` is the share of the session's off-chip bytes
+    currently warm in bank ``b``; ``cold_fraction`` is the share demoted to
+    the SSD tier.  Fractions sum to 1 for a session with off-chip bytes;
+    a session with nothing off-chip reports one fully-warm pseudo-bank so
+    callers can price the (empty) fetch through the same path.
+    """
+
+    warm_fractions: tuple[float, ...]
+    cold_fraction: float
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One cold-shard demotion (a session's shard pushed out of a bank)."""
+
+    session_id: int
+    bank: int
+    bytes: float
+
+
+#: Relative slack under which a shard's cold remainder is *zero*: summing
+#: per-bank float shares can miss the exact total by a few ulps, and a
+#: 1e-16-fraction "cold" share must not price a whole fixed-latency SSD leg.
+_COLD_SNAP_REL = 1e-12
+
+
+@dataclass
+class _SessionShards:
+    """Internal per-session shard state."""
+
+    session_id: int
+    hot_bytes: float
+    offchip_bytes: float  # offloaded KV + HC tables (warm + cold)
+    home_bytes: np.ndarray  # cluster-wise home distribution across banks
+    warm_bytes: np.ndarray  # currently held in banks (<= home_bytes)
+
+    @property
+    def cold_bytes(self) -> float:
+        """Bytes on the SSD tier, snapped to zero within float-sum slack."""
+        cold = self.offchip_bytes - float(self.warm_bytes.sum())
+        if cold <= self.offchip_bytes * _COLD_SNAP_REL:
+            return 0.0
+        return cold
+
+
+def partition_by_cluster(
+    num_clusters: int, num_banks: int, total_bytes: float
+) -> np.ndarray:
+    """Cluster-wise home distribution of ``total_bytes`` across banks.
+
+    Cluster ``c`` (of ``num_clusters`` equal-sized clusters) lives in bank
+    ``c % num_banks`` — the KVMU cluster-wise mapping extended across
+    banks, so a cluster's contiguous layout is preserved inside its bank.
+    """
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be at least 1, got {num_clusters}")
+    counts = np.bincount(
+        np.arange(num_clusters, dtype=np.int64) % num_banks, minlength=num_banks
+    )
+    # Telescoping split: bank shares are differences of prefix cuts, so they
+    # sum to ``total_bytes`` *exactly* and the single-bank share IS the
+    # total (the prefix fraction ends at exactly 1.0) — the bit-for-bit
+    # anchor of the degenerate single-bank configuration.
+    prefix = np.cumsum(counts) / num_clusters
+    cuts = prefix * total_bytes
+    return np.diff(np.concatenate([[0.0], cuts]))
+
+
+def sharded_fetch_makespan(
+    total_bytes: float,
+    split: ShardSplit,
+    warm_time_s: Callable[[float], float],
+    cold_time_s: Callable[[float], float],
+) -> float:
+    """Makespan of one fetch fanned out across parallel banks.
+
+    Each bank serves its warm share concurrently (one DMA channel per
+    bank); the cold share streams from the SSD tier concurrently with
+    them.  ``warm_time_s`` / ``cold_time_s`` price one channel's bytes —
+    the caller builds them from the same :class:`~repro.hw.dre.kvmu.KVMUModel`
+    (or GPU fetch) pricing the unsharded plane uses, so the single-bank
+    all-warm split reproduces the single-channel fetch time bit for bit.
+    """
+    times = [
+        warm_time_s(total_bytes * fraction)
+        for fraction in split.warm_fractions
+        if fraction > 0.0
+    ]
+    if split.cold_fraction > 0.0:
+        times.append(cold_time_s(total_bytes * split.cold_fraction))
+    return max(times, default=0.0)
+
+
+_FULLY_WARM = ShardSplit(warm_fractions=(1.0,), cold_fraction=0.0)
+
+
+class ShardedKVHierarchy:
+    """Partitions sessions' offloaded KV caches across N memory banks.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of parallel memory banks/devices holding offloaded shards.
+    bank_budget_bytes:
+        Per-bank capacity; ``inf`` (the default) never demotes anything.
+    """
+
+    def __init__(self, num_banks: int = 1, bank_budget_bytes: float = math.inf):
+        if num_banks < 1:
+            raise ValueError(f"num_banks must be at least 1, got {num_banks}")
+        if not bank_budget_bytes > 0:
+            raise ValueError(
+                f"bank_budget_bytes must be positive, got {bank_budget_bytes}"
+            )
+        self.num_banks = int(num_banks)
+        self.bank_budget_bytes = float(bank_budget_bytes)
+        self._shards: dict[int, _SessionShards] = {}
+        self._occupancy = np.zeros(self.num_banks)
+        self._clock = 0
+        self._last_used: dict[int, int] = {}
+        self.evictions: list[EvictionRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        session_id: int,
+        offloaded_bytes: float,
+        hot_bytes: float = 0.0,
+        num_clusters: int = 1,
+        hc_table_bytes: float = 0.0,
+    ) -> None:
+        """Register one session's shards; banks fill in registration order.
+
+        A session whose home banks are already full keeps the overflow
+        cold (on the SSD tier) until :meth:`promote` makes room —
+        registration never demotes previously registered sessions.
+        """
+        if session_id in self._shards:
+            raise ValueError(f"session {session_id} is already registered")
+        if offloaded_bytes < 0 or hot_bytes < 0 or hc_table_bytes < 0:
+            raise ValueError("shard byte counts must be non-negative")
+        offchip = offloaded_bytes + hc_table_bytes
+        home = (
+            partition_by_cluster(num_clusters, self.num_banks, offchip)
+            if offchip > 0
+            else np.zeros(self.num_banks)
+        )
+        headroom = np.maximum(self.bank_budget_bytes - self._occupancy, 0.0)
+        warm = np.minimum(home, headroom)
+        self._occupancy += warm
+        self._shards[session_id] = _SessionShards(
+            session_id=session_id,
+            hot_bytes=float(hot_bytes),
+            offchip_bytes=float(offchip),
+            home_bytes=home,
+            warm_bytes=warm,
+        )
+        self._last_used[session_id] = self._clock
+        self._clock += 1
+
+    @property
+    def session_ids(self) -> list[int]:
+        return sorted(self._shards)
+
+    def _shard(self, session_id: int) -> _SessionShards:
+        try:
+            return self._shards[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id} is not registered with the memory plane"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def hot_bytes(self, session_id: int) -> float:
+        """Device-DRAM-resident bytes (never touched by bank eviction)."""
+        return self._shard(session_id).hot_bytes
+
+    def offchip_bytes(self, session_id: int) -> float:
+        """Total off-chip bytes of a session (warm + cold)."""
+        return self._shard(session_id).offchip_bytes
+
+    def warm_bytes(self, session_id: int) -> np.ndarray:
+        """Per-bank warm bytes of one session (a copy)."""
+        return self._shard(session_id).warm_bytes.copy()
+
+    def cold_bytes(self, session_id: int) -> float:
+        """Bytes demoted to the SSD tier."""
+        return self._shard(session_id).cold_bytes
+
+    def residency(self, session_id: int) -> float:
+        """Warm fraction of a session's off-chip bytes (1.0 if nothing off-chip)."""
+        shard = self._shard(session_id)
+        if shard.offchip_bytes <= 0:
+            return 1.0
+        return 1.0 - shard.cold_bytes / shard.offchip_bytes
+
+    def cold_fraction(self, session_id: int) -> float:
+        return 1.0 - self.residency(session_id)
+
+    def bank_occupancy_bytes(self) -> np.ndarray:
+        """Current warm bytes per bank (a copy)."""
+        return self._occupancy.copy()
+
+    def fetch_split(self, session_id: int) -> ShardSplit:
+        """Read-only tier split a fetch issued *now* would see.
+
+        A fetch touches the session's shards proportionally (selection is
+        spread across clusters, clusters are spread across banks), so the
+        per-bank shares are the warm-byte fractions and the remainder is
+        served cold.  A session with nothing off-chip reports the
+        degenerate fully-warm single-channel split.
+        """
+        shard = self._shard(session_id)
+        if shard.offchip_bytes <= 0:
+            return _FULLY_WARM
+        fractions = shard.warm_bytes / shard.offchip_bytes
+        return ShardSplit(
+            warm_fractions=tuple(float(f) for f in fractions),
+            # derived from the byte-level remainder (snapped within float-sum
+            # slack), never from 1 - sum(fractions): a fully-warm session
+            # must not price a spurious 1e-16-fraction SSD leg
+            cold_fraction=shard.cold_bytes / shard.offchip_bytes,
+        )
+
+    def home_split(self, session_id: int) -> ShardSplit:
+        """The split a fully-promoted fetch would see (all shards home-warm).
+
+        The admission controller prices "what would this stream cost if
+        eviction made it warm?" with this split before deciding to evict.
+        """
+        shard = self._shard(session_id)
+        if shard.offchip_bytes <= 0:
+            return _FULLY_WARM
+        fractions = shard.home_bytes / shard.offchip_bytes
+        return ShardSplit(
+            warm_fractions=tuple(float(f) for f in fractions), cold_fraction=0.0
+        )
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+    def touch(self, session_id: int) -> None:
+        """Mark a session most-recently-used (eviction prefers older ones)."""
+        self._shard(session_id)
+        self._last_used[session_id] = self._clock
+        self._clock += 1
+
+    def _victims(self, bank: int, exclude: set[int]) -> list[_SessionShards]:
+        """Evictable shards of one bank, least-recently-used first."""
+        candidates = [
+            shard
+            for sid, shard in self._shards.items()
+            if sid not in exclude and shard.warm_bytes[bank] > 0
+        ]
+        candidates.sort(key=lambda s: (self._last_used[s.session_id], s.session_id))
+        return candidates
+
+    def promote(
+        self,
+        session_id: int,
+        protected: Iterable[int] = (),
+        dry_run: bool = False,
+    ) -> float:
+        """Pull a session's cold shards back into their home banks.
+
+        Demotes the least-recently-used unprotected sessions' shards
+        (whole per-bank shards at a time — the cluster-contiguous layout
+        is rebuilt per shard, not per token) until the promotion fits or
+        no victims remain; whatever still does not fit stays cold.
+        Returns the promoted byte count; ``dry_run`` prices the promotion
+        without mutating anything (the admission controller's "would
+        eviction make this stream warm?" probe).  Hot bytes are never
+        touched: demotion only ever moves warm bank bytes to the cold
+        tier.
+        """
+        shard = self._shard(session_id)
+        exclude = set(protected) | {session_id}
+        promoted = 0.0
+        for bank in range(self.num_banks):
+            need = shard.home_bytes[bank] - shard.warm_bytes[bank]
+            if need <= shard.home_bytes[bank] * _COLD_SNAP_REL:
+                continue  # home-warm within float slack: nothing to promote
+            headroom = self.bank_budget_bytes - self._occupancy[bank]
+            freed = 0.0
+            victims: list[tuple[_SessionShards, float]] = []
+            for victim in self._victims(bank, exclude):
+                if headroom + freed >= need:
+                    break
+                victims.append((victim, float(victim.warm_bytes[bank])))
+                freed += float(victim.warm_bytes[bank])
+            gain = min(need, headroom + freed)
+            if gain <= 0:
+                continue
+            promoted += gain
+            if dry_run:
+                continue
+            for victim, bytes_out in victims:
+                victim.warm_bytes[bank] = 0.0
+                self._occupancy[bank] -= bytes_out
+                self.evictions.append(
+                    EvictionRecord(victim.session_id, bank, bytes_out)
+                )
+            shard.warm_bytes[bank] += gain
+            self._occupancy[bank] += gain
+        return promoted
+
+    def commit_fetch(
+        self, session_id: int, protected: Iterable[int] = ()
+    ) -> ShardSplit:
+        """Record one fetch: returns the split it was served at, then warms it.
+
+        The fetch itself pays the *current* split (cold shards stream from
+        the SSD tier); afterwards the fetched shards are promoted back
+        into their home banks — evicting colder unprotected shards if
+        needed — and the session becomes most-recently-used.
+        """
+        split = self.fetch_split(session_id)
+        self.touch(session_id)
+        if split.cold_fraction > 0.0:
+            self.promote(session_id, protected=protected)
+        return split
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def clone_empty(self) -> "ShardedKVHierarchy":
+        """A fresh hierarchy with the same bank configuration, no sessions."""
+        return ShardedKVHierarchy(self.num_banks, self.bank_budget_bytes)

@@ -43,12 +43,25 @@ shared link.
     time-sliced makespan from below — so the two cheap analytic modes
     bracket the shared-compute schedule from below while remaining exact
     in their own regimes.
+
+Orthogonally to the contention/compute axes, passing a
+:class:`repro.hw.memory.sharding.ShardedKVHierarchy` as ``memory`` turns
+on the **memory-aware step mode**: every step partitions the fleet's
+offloaded KV shards (and HC tables) cluster-wise across the hierarchy's
+banks and prices each stream's fetch as a parallel fan-out over the banks
+holding its warm shards plus an SSD stream for the demoted remainder.
+With one unbounded bank every session is fully warm in one channel and
+the contended/timesliced results reproduce the memory-less plane bit for
+bit; with bounded banks the fleet becomes memory-bound and residency —
+not just queueing — shapes the schedule.  The serving scheduler threads
+the *same* demand assembly through its event loop, re-pricing each job at
+its session's current residency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -62,6 +75,11 @@ from repro.hw.event import (
     ResourceQueue,
 )
 from repro.hw.memory.pcie import PCIeLinkQueue
+from repro.hw.memory.sharding import (
+    ShardedKVHierarchy,
+    ShardSplit,
+    sharded_fetch_makespan,
+)
 from repro.sim.pipeline import (
     FRAME_STAGE,
     GENERATION_STAGE,
@@ -87,6 +105,11 @@ COMPUTE_POLICIES = ("private", "timesliced")
 
 #: Default round-robin scheduling quantum of the time-sliced compute server.
 DEFAULT_QUANTUM_S = 1e-3
+
+#: Bytes of one packed HC-table signature (one ``uint64`` word per cluster
+#: per KV head per layer) — the footprint the sharded memory plane charges
+#: for a session's hash-cluster tables alongside its offloaded KV shards.
+HC_SIGNATURE_BYTES = 8
 
 
 def validate_compute_policy(compute: str) -> str:
@@ -301,6 +324,8 @@ class BatchStepResult:
     oom: bool = False
     #: compute-contention policy of a contended step ("private"|"timesliced")
     compute: str = "private"
+    #: per-bank warm occupancy of the memory-aware mode (None without one)
+    bank_occupancy_bytes: tuple[float, ...] | None = None
 
     @property
     def batch(self) -> int:
@@ -369,6 +394,12 @@ class _StreamDemand:
     fetch_service_s: float = 0.0  # full per-layer fetch (incl. link/SSD latency)
     pcie_occupancy_s: float = 0.0  # bytes-on-the-wire time, no request latency
     ssd_occupancy_s: float = 0.0  # SSD media time, no access latency
+    # memory-aware pricing: one-channel warm/cold per-layer fetch pricers and
+    # the shard split the demand was priced at (None without a memory plane)
+    fetch_warm_time_s: Callable[[float], float] | None = None
+    fetch_cold_time_s: Callable[[float], float] | None = None
+    fetch_split: ShardSplit | None = None
+    fetch_cold_service_s: float = 0.0  # per-layer fetch if served fully cold
 
 
 def contended_issue_timing(
@@ -748,11 +779,18 @@ class BatchLatencyModel:
         contention: bool = True,
         compute: str = "private",
         quantum_s: float = DEFAULT_QUANTUM_S,
+        memory: ShardedKVHierarchy | None = None,
     ):
         self.base = base or LatencyModel()
         self.contention = contention
         self.compute = validate_compute_policy(compute)
         self.quantum_s = validate_quantum(quantum_s)
+        #: bank configuration of the memory-aware mode (``None`` prices
+        #: fetches on the classic single-channel offload target).  The
+        #: instance is a *template*: every step/run partitions the fleet's
+        #: shards into a fresh hierarchy with the same bank layout, so
+        #: repeated runs stay deterministic.
+        self.memory = memory
 
     # ------------------------------------------------------------------ #
     # public steps
@@ -881,8 +919,63 @@ class BatchLatencyModel:
             return [default] * num_streams
         return _broadcast_per_stream(value, num_streams, name)
 
+    def _memory_for(
+        self, system: SystemConfig, profiles: Sequence[StreamProfile]
+    ) -> ShardedKVHierarchy | None:
+        """Partition one fleet's shards into a fresh bank hierarchy.
+
+        Sessions register in *session-id* order (never list order), each
+        with its device-resident hot window, its offloaded KV bytes split
+        cluster-wise across the banks, and — on ReSV systems — its packed
+        HC-table signatures riding along with the shards.
+        """
+        if self.memory is None:
+            return None
+        session_ids = [profile.session_id for profile in profiles]
+        if len(set(session_ids)) != len(session_ids):
+            duplicate = next(s for s in session_ids if session_ids.count(s) > 1)
+            raise ValueError(
+                "memory-aware pricing requires a distinct StreamProfile."
+                f"session_id per stream (shards are keyed by session); "
+                f"session id {duplicate} appears more than once"
+            )
+        base = self.base
+        memory = self.memory.clone_empty()
+        ordered = sorted(profiles, key=lambda p: p.session_id)
+        for profile in ordered:
+            kv_bytes = base.llm.kv_cache_bytes(profile.kv_len, 1) * system.kv_bytes_scale
+            if system.kv_offloaded:
+                hot = min(kv_bytes, system.kv_device_budget_bytes)
+            else:
+                hot = kv_bytes
+            num_clusters = max(
+                int(profile.kv_len // base._avg_tokens_per_cluster(system, profile.measured)),
+                1,
+            )
+            hc_bytes = (
+                num_clusters
+                * base.llm.model.num_kv_heads
+                * base.llm.model.num_layers
+                * HC_SIGNATURE_BYTES
+                if system.policy.prediction == "resv"
+                else 0.0
+            )
+            memory.register(
+                profile.session_id,
+                offloaded_bytes=max(kv_bytes - hot, 0.0),
+                hot_bytes=hot,
+                num_clusters=num_clusters,
+                hc_table_bytes=hc_bytes,
+            )
+        return memory
+
     def _stream_demand(
-        self, system: SystemConfig, profile: StreamProfile, q_len: int | None, stage: str
+        self,
+        system: SystemConfig,
+        profile: StreamProfile,
+        q_len: int | None,
+        stage: str,
+        memory: ShardedKVHierarchy | None = None,
     ) -> _StreamDemand:
         """Assemble one stream's per-layer demands (mirrors ``LatencyModel._step``)."""
         base = self.base
@@ -905,13 +998,24 @@ class BatchLatencyModel:
         device = base.device_for(system)
         from_ssd = system.device.offload_target == "ssd"
         if isinstance(device, VRexAccelerator):
+            contiguous = base._contiguous_bytes(system, profile.measured)
             work = KVFetchWork(
                 total_bytes=per_layer_bytes,
-                mean_contiguous_bytes=base._contiguous_bytes(system, profile.measured),
+                mean_contiguous_bytes=contiguous,
                 from_ssd=from_ssd,
             )
             efficiency = device.kvmu.link_efficiency(work)
-            demand.fetch_service_s = device.fetch_time_s(work)
+
+            def warm_time_s(num_bytes: float) -> float:
+                return device.fetch_time_s(
+                    KVFetchWork(num_bytes, contiguous, from_ssd=from_ssd)
+                )
+
+            def cold_time_s(num_bytes: float) -> float:
+                return device.fetch_time_s(
+                    KVFetchWork(num_bytes, contiguous, from_ssd=True)
+                )
+
             demand.pcie_occupancy_s = device.link.occupancy_s(per_layer_bytes, efficiency)
             if from_ssd:
                 demand.ssd_occupancy_s = device.ssd.read_occupancy_s(
@@ -920,9 +1024,17 @@ class BatchLatencyModel:
         else:
             effective_ratio = system.policy.ratio(stage) if ratio is None else ratio
             sequential = gpu_sequential_fraction(effective_ratio)
-            demand.fetch_service_s = device.fetch_time_s(
-                per_layer_bytes, from_ssd=from_ssd, sequential_fraction=sequential
-            )
+
+            def warm_time_s(num_bytes: float) -> float:
+                return device.fetch_time_s(
+                    num_bytes, from_ssd=from_ssd, sequential_fraction=sequential
+                )
+
+            def cold_time_s(num_bytes: float) -> float:
+                return device.fetch_time_s(
+                    num_bytes, from_ssd=True, sequential_fraction=sequential
+                )
+
             demand.pcie_occupancy_s = device.link.occupancy_s(
                 per_layer_bytes, system.device.pcie_efficiency
             )
@@ -930,6 +1042,21 @@ class BatchLatencyModel:
                 demand.ssd_occupancy_s = device.ssd.read_occupancy_s(
                     per_layer_bytes, sequential
                 )
+        demand.fetch_warm_time_s = warm_time_s
+        demand.fetch_cold_time_s = cold_time_s
+        if memory is None:
+            demand.fetch_service_s = warm_time_s(per_layer_bytes)
+        else:
+            # Residency-aware pricing: the fetch fans out over the banks
+            # holding the session's warm shards, the demoted remainder
+            # streams from the SSD tier.  A fully-warm single-bank split
+            # reproduces the single-channel price bit for bit.
+            split = memory.fetch_split(profile.session_id)
+            demand.fetch_split = split
+            demand.fetch_service_s = sharded_fetch_makespan(
+                per_layer_bytes, split, warm_time_s, cold_time_s
+            )
+            demand.fetch_cold_service_s = cold_time_s(per_layer_bytes)
         return demand
 
     def _batched_oom(self, system: SystemConfig, profiles: Sequence[StreamProfile]) -> bool:
@@ -956,16 +1083,23 @@ class BatchLatencyModel:
     ) -> BatchStepResult:
         if not profiles:
             raise ValueError("a batched step needs at least one stream profile")
+        memory = self._memory_for(system, profiles)
         demands = [
-            self._stream_demand(system, profile, q_len, stage)
+            self._stream_demand(system, profile, q_len, stage, memory=memory)
             for profile, q_len in zip(profiles, q_lens)
         ]
         oom = self._batched_oom(system, profiles)
         if contention and compute == "timesliced":
-            return self._timesliced_step(system, demands, stage, include_vision, oom)
-        if contention:
-            return self._contended_step(system, demands, stage, include_vision, oom)
-        return self._aggregated_step(system, demands, stage, include_vision, oom)
+            result = self._timesliced_step(system, demands, stage, include_vision, oom)
+        elif contention:
+            result = self._contended_step(system, demands, stage, include_vision, oom)
+        else:
+            result = self._aggregated_step(system, demands, stage, include_vision, oom)
+        if memory is not None:
+            result.bank_occupancy_bytes = tuple(
+                float(b) for b in memory.bank_occupancy_bytes()
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # no-contention mode: exact batched pricing

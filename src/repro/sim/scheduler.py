@@ -56,6 +56,7 @@ from repro.hw.event import (
     Timeline,
 )
 from repro.hw.memory.pcie import PCIeLinkQueue
+from repro.hw.memory.sharding import ShardedKVHierarchy, sharded_fetch_makespan
 from repro.sim.batched import (
     DEFAULT_QUANTUM_S,
     PRIO_ARRIVAL,
@@ -90,6 +91,26 @@ _PRIO_LINK = PRIO_LINK
 
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
 
+#: Admission-control policies of the scheduler.
+ADMISSION_POLICIES = ("backlog", "residency")
+
+#: Admission outcomes recorded per job.  ``"admit"`` (served, no memory
+#: action), ``"evict"`` (served after cold-shard eviction promoted the
+#: stream's shards), ``"backlog"`` (dropped at the queue-depth bound) and
+#: ``"defer"`` (shed by the residency controller: even after any possible
+#: promotion the job could not meet its deadline given the compute backlog
+#: it would join).
+ADMIT, EVICT, BACKLOG_DROP, DEFER = "admit", "evict", "backlog", "defer"
+
+
+def validate_admission_policy(admission: str) -> str:
+    """Return ``admission`` or raise for a policy the scheduler lacks."""
+    if admission not in ADMISSION_POLICIES:
+        raise ValueError(
+            f"unknown admission policy {admission!r}; expected one of {ADMISSION_POLICIES}"
+        )
+    return admission
+
 
 @dataclass(frozen=True)
 class SchedulerConfig:
@@ -107,6 +128,17 @@ class SchedulerConfig:
     systems, its prediction kernels) contend on one shared round-robin
     server with scheduling quantum ``quantum_s``
     (:class:`repro.hw.event.PreemptiveResource`).
+
+    ``admission`` picks the admission policy: ``"backlog"`` bounds only
+    each stream's own queue depth, while ``"residency"`` additionally
+    couples admission to the sharded device-memory plane — each arriving
+    job is estimated against its deadline at the stream's *current* KV
+    shard residency plus the compute backlog it would join, and the
+    controller admits it, admits it after **evicting** colder shards to
+    promote the stream warm, or **defers** (sheds) it when not even a full
+    promotion could meet the deadline.  Residency admission requires a
+    ``deadline_s`` and a scheduler plane built with a memory plane
+    (:class:`repro.hw.memory.sharding.ShardedKVHierarchy`).
     """
 
     deadline_s: float | None = None
@@ -114,6 +146,7 @@ class SchedulerConfig:
     drop_late: bool = False
     compute: str = "private"
     quantum_s: float = DEFAULT_QUANTUM_S
+    admission: str = "backlog"
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -126,6 +159,9 @@ class SchedulerConfig:
             raise ValueError("drop_late requires a deadline_s")
         validate_compute_policy(self.compute)
         validate_quantum(self.quantum_s)
+        validate_admission_policy(self.admission)
+        if self.admission == "residency" and self.deadline_s is None:
+            raise ValueError("admission='residency' requires a deadline_s")
 
 
 @dataclass(frozen=True)
@@ -144,6 +180,8 @@ class JobRecord:
     pcie_wait_s: float = 0.0
     dre_wait_s: float = 0.0
     compute_wait_s: float = 0.0
+    #: admission outcome: "admit", "evict", "backlog" or "defer"
+    admission: str = ADMIT
 
     @property
     def sojourn_s(self) -> float:
@@ -233,6 +271,12 @@ class ScheduleResult:
     timeline: Timeline = field(default_factory=Timeline)
     events_processed: int = 0
     oom: bool = False
+    #: evolved per-run memory plane (None when the plane has no memory)
+    memory: ShardedKVHierarchy | None = None
+    #: ``(time_s, per-bank warm bytes)`` at every occupancy change
+    bank_occupancy_trajectory: list[tuple[float, tuple[float, ...]]] = field(
+        default_factory=list
+    )
 
     def jobs(
         self, stream_index: int | None = None, kind: str | None = None
@@ -262,6 +306,16 @@ class ScheduleResult:
     @property
     def dropped(self) -> int:
         return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def deferred(self) -> int:
+        """Jobs shed by the residency-aware admission controller."""
+        return sum(1 for r in self.records if r.admission == DEFER)
+
+    @property
+    def evict_admissions(self) -> int:
+        """Jobs admitted only after cold-shard eviction promoted their stream."""
+        return sum(1 for r in self.records if r.admission == EVICT)
 
     @property
     def makespan_s(self) -> float:
@@ -299,7 +353,15 @@ class ScheduleResult:
 
 @dataclass
 class _PricedStage:
-    """One stream's per-job demands for one job kind, priced once."""
+    """One stream's per-job demands for one job kind, priced once.
+
+    ``fetch_s`` carries the fetch priced at the stream's *registration*
+    residency; with a memory plane the per-job fetch is re-priced at issue
+    time from the session's current shard split via ``fetch_bytes_layer``
+    and the warm/cold channel pricers.  ``solo_warm_s`` / ``solo_cold_s``
+    bracket the job's no-queueing latency between a fully-promoted and a
+    fully-demoted shard set — the admission controller's estimate inputs.
+    """
 
     active: bool
     on_dre: bool
@@ -308,6 +370,11 @@ class _PricedStage:
     compute_s: float
     prediction_s: float
     fetch_s: float
+    fetch_bytes_layer: float = 0.0
+    warm_time_s: object = None
+    cold_time_s: object = None
+    solo_warm_s: float = 0.0
+    solo_cold_s: float = 0.0
 
 
 class _Job:
@@ -325,6 +392,7 @@ class _Job:
         "compute_wait_s",
         "remaining",
         "key",
+        "admission",
     )
 
     def __init__(self, stream: int, kind: str, index: int, arrival_s: float, key: tuple):
@@ -339,6 +407,31 @@ class _Job:
         self.compute_wait_s = 0.0
         self.remaining = 0
         self.key = key
+        self.admission = ADMIT
+
+
+def _solo_latency(
+    is_vrex: bool,
+    overlaps: bool,
+    vision_s: float,
+    compute_s: float,
+    prediction_s: float,
+    fetch_s: float,
+) -> float:
+    """A job's no-queueing latency under the system's overlap rules.
+
+    The admission controller's estimate primitive: the same per-stream
+    overlap semantics as :func:`repro.sim.batched.contended_exposure`, but
+    with empty shared queues (waits are estimated separately from the
+    backlog the job would join).
+    """
+    if is_vrex:
+        latency = max(compute_s, prediction_s + fetch_s)
+    elif overlaps:
+        latency = prediction_s + max(compute_s, fetch_s)
+    else:
+        latency = prediction_s + compute_s + fetch_s
+    return vision_s + latency
 
 
 class ServingScheduler:
@@ -346,7 +439,13 @@ class ServingScheduler:
 
     Wraps a :class:`BatchLatencyModel` for demand pricing; the scheduler
     itself owns only the event-time mechanics (stream slots, shared-queue
-    FCFS order, deadlines, admission control).
+    FCFS order, deadlines, admission control).  When the plane carries a
+    memory plane (:class:`~repro.hw.memory.sharding.ShardedKVHierarchy`),
+    each run partitions the fleet's KV shards across its banks, re-prices
+    every job's fetch at the session's *current* residency, and — under
+    ``admission="residency"`` — makes admit/defer/evict decisions that
+    couple the queue-depth bound to bank occupancy and the compute backlog
+    the stream would join.
     """
 
     def __init__(
@@ -452,20 +551,50 @@ class ServingScheduler:
         vision_each = base._vision_time(system, 1)[0]
         frame_overlaps = system.policy.overlap_fetch  # FRAME_STAGE rule
 
+        memory = self.plane._memory_for(system, profiles)
+        residency_admission = self.config.admission == "residency"
+        if residency_admission and memory is None:
+            raise ValueError(
+                "admission='residency' requires a BatchLatencyModel built with "
+                "a memory plane (ShardedKVHierarchy)"
+            )
+
         def price(profile: StreamProfile, q_len: int | None, stage: str, vision_s: float, overlaps: bool) -> _PricedStage:
-            demand = self.plane._stream_demand(system, profile, q_len, stage)
+            demand = self.plane._stream_demand(system, profile, q_len, stage, memory=memory)
             if not demand.active:
                 return _PricedStage(False, False, overlaps, 0.0, 0.0, 0.0, 0.0)
-            return _PricedStage(
+            compute_s = device.dense_time_s(demand.compute_cost) * num_layers
+            prediction_s = base._price_prediction_parts(system, demand.parts) * num_layers
+            priced_stage = _PricedStage(
                 active=True,
                 on_dre=demand.parts is not None and demand.parts.on_dre,
                 overlaps=overlaps,
                 vision_s=vision_s,
-                compute_s=device.dense_time_s(demand.compute_cost) * num_layers,
-                prediction_s=base._price_prediction_parts(system, demand.parts)
-                * num_layers,
+                compute_s=compute_s,
+                prediction_s=prediction_s,
                 fetch_s=demand.fetch_service_s * num_layers,
             )
+            if memory is not None and demand.fetch_bytes > 0:
+                priced_stage.fetch_bytes_layer = demand.fetch_bytes
+                priced_stage.warm_time_s = demand.fetch_warm_time_s
+                priced_stage.cold_time_s = demand.fetch_cold_time_s
+                warm_fetch = (
+                    sharded_fetch_makespan(
+                        demand.fetch_bytes,
+                        memory.home_split(profile.session_id),
+                        demand.fetch_warm_time_s,
+                        demand.fetch_cold_time_s,
+                    )
+                    * num_layers
+                )
+                cold_fetch = demand.fetch_cold_service_s * num_layers
+                priced_stage.solo_warm_s = _solo_latency(
+                    is_vrex, overlaps, vision_s, compute_s, prediction_s, warm_fetch
+                )
+                priced_stage.solo_cold_s = _solo_latency(
+                    is_vrex, overlaps, vision_s, compute_s, prediction_s, cold_fetch
+                )
+            return priced_stage
 
         priced: list[dict[str, _PricedStage]] = []
         for stream, profile in enumerate(profiles):
@@ -499,6 +628,23 @@ class ServingScheduler:
         slots = [ReleasableResource(f"stream{stream}") for stream in range(num_streams)]
         timeline = Timeline()
         records: list[JobRecord] = []
+        trajectory: list[tuple[float, tuple[float, ...]]] = []
+
+        def note_occupancy() -> None:
+            occupancy = tuple(float(b) for b in memory.bank_occupancy_bytes())
+            if not trajectory or trajectory[-1][1] != occupancy:
+                trajectory.append((loop.now_s, occupancy))
+
+        if memory is not None:
+            note_occupancy()  # registration-time state at t=0
+
+        def busy_sessions(excluding: int) -> set[int]:
+            """Sessions with a job in flight (their shards are not victims)."""
+            return {
+                profiles[stream].session_id
+                for stream in range(num_streams)
+                if stream != excluding and slots[stream].busy
+            }
 
         def record(job: _Job, finish_s: float, dropped: bool) -> None:
             sojourn = finish_s - job.arrival_s
@@ -520,8 +666,50 @@ class ServingScheduler:
                     pcie_wait_s=job.pcie_wait_s,
                     dre_wait_s=job.dre_wait_s,
                     compute_wait_s=job.compute_wait_s,
+                    admission=job.admission,
                 )
             )
+
+        def residency_decision(job: _Job) -> str:
+            """Admit / evict / defer one arriving job against its deadline.
+
+            The estimate couples three terms: the stream's own backlog
+            (each queued job priced at the warm solo latency), the shared
+            compute backlog the job would join (timesliced policy only),
+            and the job's own latency at the session's *current* shard
+            residency.  If the estimate busts the deadline but a full
+            promotion — evicting colder unprotected shards — would bring
+            it under, the controller evicts and admits; otherwise it
+            defers (sheds) the job.
+            """
+            stage = priced[job.stream][job.kind]
+            if not stage.active or stage.fetch_bytes_layer <= 0:
+                return ADMIT
+            session = profiles[job.stream].session_id
+            slot = slots[job.stream]
+            backlog_jobs = slot.queue_depth + (1 if slot.busy else 0)
+            compute_backlog = (
+                compute_server.backlog_s() if compute_server is not None else 0.0
+            )
+            cold_frac = memory.cold_fraction(session)
+            own = stage.solo_warm_s + cold_frac * (stage.solo_cold_s - stage.solo_warm_s)
+            estimate = backlog_jobs * stage.solo_warm_s + compute_backlog + own
+            if estimate <= cfg.deadline_s:
+                return ADMIT
+            if cold_frac > 0.0:
+                warm_estimate = (
+                    (backlog_jobs + 1) * stage.solo_warm_s + compute_backlog
+                )
+                if warm_estimate > cfg.deadline_s:
+                    return DEFER  # not even a full promotion would save it
+                protected = busy_sessions(excluding=job.stream)
+                cold = memory.cold_bytes(session)
+                promotable = memory.promote(session, protected=protected, dry_run=True)
+                if promotable >= cold * (1.0 - 1e-9):
+                    memory.promote(session, protected=protected)
+                    note_occupancy()
+                    return EVICT
+            return DEFER
 
         def submit(job: _Job) -> None:
             slot = slots[job.stream]
@@ -530,8 +718,16 @@ class ServingScheduler:
                 and slot.busy
                 and slot.queue_depth >= cfg.max_queue_depth
             ):
+                job.admission = BACKLOG_DROP
                 record(job, job.arrival_s, dropped=True)
                 return
+            if residency_admission:
+                decision = residency_decision(job)
+                if decision == DEFER:
+                    job.admission = DEFER
+                    record(job, job.arrival_s, dropped=True)
+                    return
+                job.admission = decision
             slot.acquire(loop.now_s, lambda grant, job=job: begin(job, grant.start_s))
 
         def begin(job: _Job, start_s: float) -> None:
@@ -555,8 +751,33 @@ class ServingScheduler:
                 key=job.key,
             )
 
+        def job_fetch_s(job: _Job) -> float:
+            """Fetch time of one job at its session's *current* residency.
+
+            Reads the split, commits the fetch (the session becomes
+            most-recently-used and its cold shards promote back into their
+            home banks), and prices the fan-out across banks plus the
+            cold SSD stream.  Without a memory plane this is the priced
+            stage fetch unchanged.
+            """
+            stage = priced[job.stream][job.kind]
+            if memory is None or stage.fetch_bytes_layer <= 0:
+                return stage.fetch_s
+            session = profiles[job.stream].session_id
+            split = memory.commit_fetch(
+                session, protected=busy_sessions(excluding=job.stream)
+            )
+            note_occupancy()
+            return (
+                sharded_fetch_makespan(
+                    stage.fetch_bytes_layer, split, stage.warm_time_s, stage.cold_time_s
+                )
+                * num_layers
+            )
+
         def issue(job: _Job) -> None:
             stage = priced[job.stream][job.kind]
+            fetch_s = job_fetch_s(job)
             if timesliced:
                 name = f"s{profiles[job.stream].session_id}/{job.kind}{job.index}"
                 if stage.vision_s > 0:
@@ -571,7 +792,7 @@ class ServingScheduler:
                     on_dre=stage.on_dre,
                     compute_s=stage.compute_s,
                     prediction_s=stage.prediction_s,
-                    fetch_s=stage.fetch_s,
+                    fetch_s=fetch_s,
                     key=job.key,
                     on_finish=lambda outcome, job=job: resolve_timesliced(job, outcome),
                 )
@@ -583,7 +804,7 @@ class ServingScheduler:
                 start_s=loop.now_s,
                 compute_s=stage.compute_s,
                 prediction_s=stage.prediction_s,
-                fetch_s=stage.fetch_s,
+                fetch_s=fetch_s,
                 dre_queue=dre,
             )
             job.timing = timing
@@ -703,5 +924,7 @@ class ServingScheduler:
             timeline=timeline,
             events_processed=loop.events_processed,
             oom=self.plane._batched_oom(system, profiles),
+            memory=memory,
+            bank_occupancy_trajectory=trajectory,
         )
         return result

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig17_bandwidth,
     fig18_roofline,
     scheduled_serving,
+    sharded_memory,
     table03_area_power,
 )
 
@@ -236,6 +237,55 @@ class TestScheduledServing:
         scheduled_serving.main()
         out = capsys.readouterr().out
         assert "Scheduled serving" in out and "tail blow-up" in out
+
+
+class TestShardedMemory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sharded_memory.run(
+            num_streams=4, frames_per_stream=6, bank_counts=(1, 2)
+        )
+
+    def test_all_operating_points_present(self, result):
+        # unbounded baseline + 2 bank counts, each under both policies
+        assert len(result.rows) == 2 * (1 + 2)
+        for row in result.rows:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert 0.0 <= row["miss_rate"] <= 1.0
+            assert 0.0 <= row["drop_rate"] <= 1.0
+            assert row["events"] > 0
+            assert row["peak_bank_occupancy_gib"] > 0.0
+
+    def test_residency_admission_never_misses_more(self, result):
+        """At every operating point the controller sheds, not adds, misses."""
+        for bounded in (False, True):
+            for num_banks in (1,) if not bounded else (1, 2):
+                backlog = result.row(num_banks, "backlog", bounded=bounded)
+                residency = result.row(num_banks, "residency", bounded=bounded)
+                assert residency["miss_rate"] <= backlog["miss_rate"] + 1e-12
+
+    def test_memory_bound_points_demote_shards(self, result):
+        """Bounded banks in an oversubscribed fleet must evict something."""
+        assert any(row["evictions"] > 0 for row in result.rows if row["bounded"])
+        baseline = result.row(1, "backlog", bounded=False)
+        assert baseline["evictions"] == 0  # unbounded never demotes
+        assert baseline["deferred"] == 0
+
+    def test_bank_budget_caps_peak_occupancy(self, result):
+        for row in result.rows:
+            if row["bounded"]:
+                assert row["peak_bank_occupancy_gib"] <= row["bank_budget_gib"] * (
+                    1 + 1e-9
+                )
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row(7, "backlog")
+
+    def test_main_prints(self, capsys):
+        sharded_memory.main()
+        out = capsys.readouterr().out
+        assert "Sharded memory" in out and "best bounded point" in out
 
 
 class TestTable03:

@@ -177,6 +177,132 @@ class TestHierarchicalKVManager:
         assert manager.resident_tokens <= max(budget_tokens, 0)
         assert manager.device_bytes() + manager.offloaded_bytes() == manager.num_tokens * 10.0
 
+    # -------------------------------------------------------------- #
+    # array-backed cluster bookkeeping: equivalence with the old
+    # dict-based per-token grouping, plus validation and boundaries
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _dict_grouping(cluster_of_token: dict, offchip: np.ndarray) -> dict:
+        """The pre-rewrite per-token grouping loop, kept for equivalence."""
+        groups: dict[int, list[int]] = {}
+        for token in offchip:
+            cluster = cluster_of_token.get(int(token), -1)
+            groups.setdefault(cluster, []).append(int(token))
+        return groups
+
+    @given(
+        chunks=st.lists(
+            st.tuples(st.integers(1, 12), st.booleans()), min_size=1, max_size=8
+        ),
+        budget_tokens=st.integers(0, 40),
+        num_clusters=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_array_grouping_matches_dict_grouping(
+        self, chunks, budget_tokens, num_clusters, seed
+    ):
+        """The vectorized grouping reproduces the old dict-loop transfers."""
+        rng = np.random.default_rng(seed)
+        manager = HierarchicalKVManager(
+            bytes_per_token=10.0, device_budget_bytes=budget_tokens * 10.0
+        )
+        cluster_of_token: dict[int, int] = {}
+        start = 0
+        for count, clustered in chunks:
+            if clustered:
+                ids = rng.integers(0, num_clusters, size=count)
+                for offset, cluster in enumerate(ids):
+                    cluster_of_token[start + offset] = int(cluster)
+                manager.append(count, cluster_ids=ids)
+            else:
+                manager.append(count)
+            start += count
+        if manager.num_tokens == 0:
+            return
+        request = rng.integers(0, manager.num_tokens, size=min(manager.num_tokens, 16))
+        result = manager.fetch(request)
+        offchip = np.unique(request)[np.unique(request) < manager.offloaded_tokens]
+        groups = self._dict_grouping(cluster_of_token, offchip)
+        if manager.cluster_mapping and cluster_of_token:
+            expected_transfers = len(groups) if offchip.size else 0
+        else:
+            expected_transfers = (
+                int(np.count_nonzero(np.diff(offchip) > 1)) + 1 if offchip.size else 0
+            )
+        assert result.num_transfers == expected_transfers
+        assert result.offchip_tokens == offchip.size
+        if expected_transfers:
+            assert result.mean_contiguous_bytes == pytest.approx(
+                offchip.size * 10.0 / expected_transfers
+            )
+        # grouping content matches as sets of tokens per cluster
+        if manager.cluster_mapping and cluster_of_token and offchip.size:
+            new_groups = manager._group_transfers(offchip)
+            assert sorted(
+                tuple(sorted(group.tolist())) for group in new_groups
+            ) == sorted(tuple(sorted(tokens)) for tokens in groups.values())
+
+    def test_cluster_ids_validation_errors(self):
+        manager = HierarchicalKVManager(bytes_per_token=10.0, device_budget_bytes=1e9)
+        with pytest.raises(ValueError, match="1-D"):
+            manager.append(4, cluster_ids=np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="length"):
+            manager.append(4, cluster_ids=np.array([0, 1]))
+        with pytest.raises(ValueError, match="non-negative"):
+            manager.append(2, cluster_ids=np.array([0, -3]))
+        with pytest.raises(ValueError, match="integers"):
+            manager.append(2, cluster_ids=np.array([0.5, 1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            manager.append(-1)
+        # integer-valued floats are accepted (the old int() cast behaviour)
+        assert manager.append(2, cluster_ids=np.array([0.0, 1.0])) == 0
+        assert manager.num_tokens == 2
+
+    def test_eviction_boundary_exact_budget(self):
+        """A resident set exactly at the budget evicts nothing."""
+        manager = HierarchicalKVManager(bytes_per_token=100.0, device_budget_bytes=500.0)
+        assert manager.append(5) == 0
+        assert manager.resident_tokens == 5
+        assert manager.append(1) == 1  # one over -> exactly one eviction
+        assert manager.resident_tokens == 5
+        assert not manager.is_resident(0)
+        assert manager.is_resident(1)
+
+    def test_eviction_boundary_fractional_bytes_per_token(self):
+        """Sub-byte token sizes clamp to 1 byte for the budget division."""
+        manager = HierarchicalKVManager(bytes_per_token=0.25, device_budget_bytes=4.0)
+        assert manager.append(10) == 6  # budget of 4 clamped tokens
+        assert manager.resident_tokens == 4
+
+    def test_zero_token_append_and_empty_fetch(self):
+        manager = HierarchicalKVManager(bytes_per_token=100.0, device_budget_bytes=500.0)
+        assert manager.append(0) == 0
+        assert manager.append(0, cluster_ids=np.array([], dtype=np.int64)) == 0
+        manager.append(3)
+        result = manager.fetch(np.array([], dtype=np.int64))
+        assert result.requested_tokens == 0
+        assert result.num_transfers == 0
+        assert result.hit_ratio == 1.0
+
+    def test_zero_budget_offloads_everything(self):
+        manager = HierarchicalKVManager(bytes_per_token=100.0, device_budget_bytes=0.0)
+        assert manager.append(7) == 7
+        assert manager.resident_tokens == 0
+        assert manager.offloaded_bytes() == 700.0
+
+    def test_mixed_clustered_and_unclustered_appends_group_together(self):
+        """Tokens appended without cluster ids coalesce into one catch-all
+        transfer once any cluster mapping exists (the old dict behaviour)."""
+        manager = HierarchicalKVManager(
+            bytes_per_token=10.0, device_budget_bytes=0.0, cluster_mapping=True
+        )
+        manager.append(4)  # no clusters
+        manager.append(4, cluster_ids=np.array([0, 1, 0, 1]))
+        result = manager.fetch(np.arange(8))
+        # one transfer per cluster {0, 1} plus one for the unmapped tokens
+        assert result.num_transfers == 3
+
 
 class TestDREUnits:
     def test_hcu_time_scales_with_work(self):

@@ -1,0 +1,323 @@
+"""Sharded memory plane through the serving planes: degenerate + golden.
+
+Two pins, mirroring how PRs 3–4 kept each new plane a verified superset:
+
+* **degenerate case** — a :class:`BatchLatencyModel` built with a
+  single-bank, unbounded-budget :class:`ShardedKVHierarchy` reproduces the
+  memory-less plane's contended and time-sliced steps *and* whole
+  scheduler runs bit for bit (asserted at 1e-9, expected — and observed —
+  exact), because the single-bank fully-warm split prices through exactly
+  the same fetch calls;
+* **golden memory-bound run** — one seeded bursty run on the server
+  V-Rex48 deployment whose fleet exceeds the banks' warm capacity, pinned
+  exactly (percentiles, miss/drop/defer counts, per-bank occupancy
+  trajectories) with residency-aware admission off and on — and the
+  residency controller *strictly* reduces the deadline-miss rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.memory.sharding import ShardedKVHierarchy
+from repro.sim.arrivals import BurstyArrivals, PoissonArrivals, rate_for_load
+from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.scheduler import (
+    ADMIT,
+    DEFER,
+    EVICT,
+    SchedulerConfig,
+    ServingScheduler,
+)
+from repro.sim.systems import edge_systems, server_systems
+from repro.sim.workload import default_llm_workload
+
+REL_TOL = 1e-9
+GiB = 1024.0**3
+KV_LENS = (40_000, 25_000, 10_000, 40_000)
+
+
+@pytest.fixture(scope="module")
+def model_bytes() -> float:
+    return default_llm_workload().model_bytes()
+
+
+@pytest.fixture(scope="module")
+def edge(model_bytes):
+    return edge_systems(model_bytes)
+
+
+@pytest.fixture(scope="module")
+def server(model_bytes):
+    return server_systems(model_bytes)
+
+
+@pytest.fixture(scope="module")
+def plain_plane() -> BatchLatencyModel:
+    return BatchLatencyModel()
+
+
+@pytest.fixture(scope="module")
+def degenerate_plane() -> BatchLatencyModel:
+    """Memory-aware plane with one unbounded bank — the bit-for-bit anchor."""
+    return BatchLatencyModel(memory=ShardedKVHierarchy(num_banks=1))
+
+
+def _fleet(kv_lens):
+    return [
+        StreamProfile(kv_len=kv, session_id=index)
+        for index, kv in enumerate(kv_lens)
+    ]
+
+
+class TestDegenerateBitForBit:
+    """Single bank + unbounded budget == the memory-less plane, exactly."""
+
+    @pytest.mark.parametrize(
+        "system_name",
+        ["AGX + FlexGen", "AGX + InfiniGen", "AGX + ReKV", "V-Rex8"],
+    )
+    @pytest.mark.parametrize("compute", ["private", "timesliced"])
+    def test_steps_reproduce_memoryless_plane(
+        self, plain_plane, degenerate_plane, edge, system_name, compute
+    ):
+        system = edge[system_name]
+        profiles = _fleet(KV_LENS)
+        plain = plain_plane.frame_step(system, profiles, compute=compute)
+        sharded = degenerate_plane.frame_step(system, profiles, compute=compute)
+        assert sharded.total_s == pytest.approx(plain.total_s, rel=REL_TOL)
+        assert sharded.total_s == plain.total_s  # observed exact
+        for plain_row, sharded_row in zip(plain.streams, sharded.streams):
+            assert sharded_row.total_s == plain_row.total_s
+            assert sharded_row.breakdown == plain_row.breakdown
+        assert sharded.bank_occupancy_bytes is not None
+        assert plain.bank_occupancy_bytes is None
+
+    @pytest.mark.parametrize("system_name", ["V-Rex8", "AGX + FlexGen"])
+    def test_generation_and_question_steps_reproduce(
+        self, plain_plane, degenerate_plane, edge, system_name
+    ):
+        system = edge[system_name]
+        profiles = _fleet(KV_LENS)
+        for step in ("generation_step", "question_step"):
+            plain = getattr(plain_plane, step)(system, profiles)
+            sharded = getattr(degenerate_plane, step)(system, profiles)
+            assert sharded.total_s == plain.total_s
+
+    def test_server_step_reproduces(self, plain_plane, degenerate_plane, server):
+        system = server["V-Rex48"]
+        plain = plain_plane.frame_step(system, _fleet(KV_LENS))
+        sharded = degenerate_plane.frame_step(system, _fleet(KV_LENS))
+        assert sharded.total_s == plain.total_s
+
+    @pytest.mark.parametrize("compute", ["private", "timesliced"])
+    @pytest.mark.parametrize("system_name", ["V-Rex8", "AGX + FlexGen"])
+    def test_scheduler_runs_reproduce_memoryless_plane(
+        self, plain_plane, degenerate_plane, edge, system_name, compute
+    ):
+        """Whole stochastic runs: every record identical, both policies."""
+        system = edge[system_name]
+        profiles = _fleet(KV_LENS)
+        solo = plain_plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = PoissonArrivals(
+            rate_hz=rate_for_load(1.2, solo, len(profiles))
+        ).generate(len(profiles), 8, seed=11)
+        config = SchedulerConfig(
+            deadline_s=2.0 * solo, max_queue_depth=4, compute=compute
+        )
+        plain = ServingScheduler(plain_plane, config).run(system, profiles, traces)
+        sharded = ServingScheduler(degenerate_plane, config).run(
+            system, profiles, traces
+        )
+        assert len(plain.records) == len(sharded.records)
+        for plain_record, sharded_record in zip(plain.records, sharded.records):
+            assert sharded_record.sojourn_s == pytest.approx(
+                plain_record.sojourn_s, rel=REL_TOL
+            )
+            assert sharded_record == plain_record  # observed exact
+        assert sharded.events_processed == plain.events_processed
+        assert sharded.makespan_s == plain.makespan_s
+        # the degenerate hierarchy never demotes anything
+        assert sharded.memory.evictions == []
+        assert len(sharded.bank_occupancy_trajectory) == 1
+
+    def test_degenerate_runs_stay_deterministic(self, degenerate_plane, edge):
+        system = edge["V-Rex8"]
+        profiles = _fleet([40_000, 20_000])
+        traces = BurstyArrivals(burst_rate_hz=20.0, mean_idle_s=0.3).generate(
+            2, 6, seed=9
+        )
+        scheduler = ServingScheduler(degenerate_plane)
+        first = scheduler.run(system, profiles, traces)
+        second = scheduler.run(system, profiles, traces)
+        assert first.records == second.records
+
+
+class TestMemoryBoundGolden:
+    """Seeded end-to-end pin of one memory-bound run, admission off and on.
+
+    The fleet's ~14.8 GiB of offloaded shards exceed the two banks'
+    9 GiB warm capacity, so two sessions register cold and pay SSD-tier
+    fetches until promoted.  Every statistic below was produced by the run
+    this test pins; a refactor of the memory plane, the admission
+    controller, or the event loop cannot silently shift them.
+    """
+
+    NUM_BANKS = 2
+    BANK_BUDGET = 4.5 * GiB
+    EXPECTED = {
+        "backlog": {
+            "served": 17,
+            "dropped": 15,
+            "deferred": 0,
+            "evict_admissions": 0,
+            "events": 83,
+            "evictions": 4,
+            "p50_ms": 934.3550439404313,
+            "p95_ms": 2421.382820249995,
+            "p99_ms": 2442.1414984081757,
+            "mean_ms": 1130.3993968263974,
+            "miss_rate": 0.8823529411764706,
+            "drop_rate": 0.46875,
+            "makespan_s": 3.0082257375868044,
+            "trajectory": [
+                (0.0, (4831838208.0, 4831838208.0)),
+                (0.9915577884747416, (3969410389.333333, 3969410389.333333)),
+                (1.1976842236332657, (4831838208.0, 4831838208.0)),
+                (2.7455335956582094, (3969410389.333333, 3969410389.333333)),
+            ],
+        },
+        "residency": {
+            "served": 17,
+            "dropped": 15,
+            "deferred": 15,
+            "evict_admissions": 2,
+            "events": 83,
+            "evictions": 4,
+            "p50_ms": 41.01385403455282,
+            "p95_ms": 131.2372039444515,
+            "p99_ms": 132.8288093921689,
+            "mean_ms": 57.372576785286746,
+            "miss_rate": 0.17647058823529413,
+            "drop_rate": 0.46875,
+            "makespan_s": 2.181960296993102,
+            "trajectory": [
+                (0.0, (4831838208.0, 4831838208.0)),
+                (0.24097707040966398, (3969410389.333333, 3969410389.333333)),
+            ],
+        },
+    }
+
+    @pytest.fixture(scope="class")
+    def memory_plane(self) -> BatchLatencyModel:
+        return BatchLatencyModel(
+            memory=ShardedKVHierarchy(
+                num_banks=self.NUM_BANKS, bank_budget_bytes=self.BANK_BUDGET
+            )
+        )
+
+    def _run(self, memory_plane, server, admission: str):
+        system = server["V-Rex48"]
+        profiles = [
+            StreamProfile(kv_len=40_000, session_id=index) for index in range(4)
+        ]
+        solo = memory_plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = BurstyArrivals.for_mean_rate(
+            rate_for_load(1.3, solo, len(profiles))
+        ).generate(len(profiles), 8, seed=17)
+        config = SchedulerConfig(
+            deadline_s=2.0 * solo, max_queue_depth=2, admission=admission
+        )
+        return ServingScheduler(memory_plane, config).run(system, profiles, traces)
+
+    @pytest.mark.parametrize("admission", ["backlog", "residency"])
+    def test_seeded_run_reproduces_exact_statistics(
+        self, memory_plane, server, admission
+    ):
+        result = self._run(memory_plane, server, admission)
+        fleet = result.fleet_summary()
+        expected = self.EXPECTED[admission]
+        assert result.served == expected["served"]
+        assert result.dropped == expected["dropped"]
+        assert result.deferred == expected["deferred"]
+        assert result.evict_admissions == expected["evict_admissions"]
+        assert result.events_processed == expected["events"]
+        assert len(result.memory.evictions) == expected["evictions"]
+        assert fleet.p50_ms == pytest.approx(expected["p50_ms"], rel=1e-12)
+        assert fleet.p95_ms == pytest.approx(expected["p95_ms"], rel=1e-12)
+        assert fleet.p99_ms == pytest.approx(expected["p99_ms"], rel=1e-12)
+        assert fleet.mean_ms == pytest.approx(expected["mean_ms"], rel=1e-12)
+        assert fleet.deadline_miss_rate == pytest.approx(
+            expected["miss_rate"], rel=1e-12
+        )
+        assert fleet.drop_rate == pytest.approx(expected["drop_rate"], rel=1e-12)
+        assert result.makespan_s == pytest.approx(expected["makespan_s"], rel=1e-12)
+        # per-bank occupancy trajectory, pinned point by point
+        assert len(result.bank_occupancy_trajectory) == len(expected["trajectory"])
+        for (time_s, occupancy), (exp_time, exp_occupancy) in zip(
+            result.bank_occupancy_trajectory, expected["trajectory"]
+        ):
+            assert time_s == pytest.approx(exp_time, rel=1e-12, abs=1e-15)
+            assert occupancy == pytest.approx(exp_occupancy, rel=1e-12)
+
+    def test_residency_admission_strictly_reduces_miss_rate(
+        self, memory_plane, server
+    ):
+        """The acceptance criterion: shedding doomed jobs early beats
+        serving them late."""
+        backlog = self._run(memory_plane, server, "backlog").fleet_summary()
+        residency = self._run(memory_plane, server, "residency").fleet_summary()
+        assert residency.deadline_miss_rate < backlog.deadline_miss_rate
+        assert residency.p99_ms < backlog.p99_ms
+
+    def test_admission_outcomes_are_labelled(self, memory_plane, server):
+        result = self._run(memory_plane, server, "residency")
+        outcomes = {record.admission for record in result.records}
+        assert DEFER in outcomes
+        assert EVICT in outcomes
+        assert ADMIT in outcomes
+        for record in result.records:
+            if record.admission == DEFER:
+                assert record.dropped
+            if record.admission == EVICT:
+                assert not record.dropped
+
+
+class TestResidencyAdmissionValidation:
+    def test_residency_requires_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            SchedulerConfig(admission="residency")
+
+    def test_unknown_admission_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission policy"):
+            SchedulerConfig(admission="roundrobin")
+
+    def test_residency_requires_memory_plane(self, plain_plane, edge):
+        config = SchedulerConfig(deadline_s=1.0, admission="residency")
+        scheduler = ServingScheduler(plain_plane, config)
+        with pytest.raises(ValueError, match="memory plane"):
+            scheduler.run(edge["V-Rex8"], _fleet([10_000]), [[0.0]])
+
+    def test_duplicate_session_ids_rejected_with_clear_message(
+        self, degenerate_plane, edge
+    ):
+        """Default session_id=0 profiles are valid everywhere else; the
+        memory plane needs distinct ids and must say so, not crash deep
+        inside shard registration."""
+        profiles = [StreamProfile(kv_len=10_000), StreamProfile(kv_len=20_000)]
+        with pytest.raises(ValueError, match="session_id per stream"):
+            degenerate_plane.frame_step(edge["V-Rex8"], profiles)
+        # the memory-less plane still accepts them
+        BatchLatencyModel().frame_step(edge["V-Rex8"], profiles)
+
+    def test_memory_plane_validation(self):
+        with pytest.raises(ValueError, match="num_banks"):
+            ShardedKVHierarchy(num_banks=0)
+        with pytest.raises(ValueError, match="bank_budget_bytes"):
+            ShardedKVHierarchy(bank_budget_bytes=0.0)
+        hierarchy = ShardedKVHierarchy(num_banks=2)
+        hierarchy.register(0, 100.0)
+        with pytest.raises(ValueError, match="already registered"):
+            hierarchy.register(0, 50.0)
+        with pytest.raises(KeyError, match="not registered"):
+            hierarchy.fetch_split(99)
