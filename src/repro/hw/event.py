@@ -28,16 +28,59 @@ queue, the head job runs for ``min(quantum_s, remaining)``, then requeues
 at the tail if unfinished; as ``quantum_s`` shrinks the schedule converges
 to ideal processor sharing, and because the server is work-conserving the
 time it drains a backlog is independent of the quantum.
+
+:class:`ArrayEventQueue` and :class:`IndexRing` are the array-backed
+substrate of the fast scheduler engine (:mod:`repro.sim.engine`): the
+queue stores events as ``(time, packed subkey, payload)`` with the whole
+``(priority, key, seq)`` tie-break packed into one integer
+(:func:`pack_subkey`), supports a vectorized bulk preload of statically
+known events (arrival traces) consumed through a cursor, and offers three
+interchangeable policies — ``"sorted"`` (reverse-sorted list, the fastest
+at scheduler depths), ``"heap"`` and ``"calendar"`` — that produce the
+*identical* total event order.  The ring is an allocation-free multi-lane
+FIFO over preallocated index arrays: pushes and pops move integer links
+instead of allocating per-request grant objects, which is what keeps the
+per-event cost flat from 4 to 10k streams.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+#: Bit layout of the packed event subkey: ``priority`` (high bits) over
+#: ``key rank`` over ``seq`` — comparing two packed subkeys as integers is
+#: exactly the lexicographic ``(priority, key, insertion)`` comparison the
+#: :class:`EventLoop` heap performs on tuples, provided ``seq`` stays below
+#: ``2**SUBKEY_SEQ_BITS`` and the key rank below ``2**SUBKEY_RANK_BITS``.
+SUBKEY_SEQ_BITS = 28
+SUBKEY_RANK_BITS = 30
+SUBKEY_RANK_SHIFT = SUBKEY_SEQ_BITS
+SUBKEY_PRIO_SHIFT = SUBKEY_SEQ_BITS + SUBKEY_RANK_BITS
+MAX_SUBKEY_SEQ = 1 << SUBKEY_SEQ_BITS
+MAX_SUBKEY_RANK = 1 << SUBKEY_RANK_BITS
+
+
+def pack_subkey(priority: int, key_rank: int, seq: int) -> int:
+    """Pack ``(priority, key rank, seq)`` into one orderable integer.
+
+    ``key_rank`` is the rank of the event's key in the sorted set of all
+    keys a run can emit (the scheduler ranks ``(session_id, stream)``
+    pairs once per run), so integer order on the packed value equals
+    tuple order on ``(priority, key, seq)``.
+    """
+    if not 0 <= seq < MAX_SUBKEY_SEQ:
+        raise ValueError(f"seq must lie in [0, {MAX_SUBKEY_SEQ}), got {seq}")
+    if not 0 <= key_rank < MAX_SUBKEY_RANK:
+        raise ValueError(f"key_rank must lie in [0, {MAX_SUBKEY_RANK}), got {key_rank}")
+    if priority < 0:
+        raise ValueError(f"priority must be non-negative, got {priority}")
+    return (priority << SUBKEY_PRIO_SHIFT) | (key_rank << SUBKEY_RANK_SHIFT) | seq
 
 
 @dataclass(frozen=True)
@@ -70,10 +113,18 @@ class ResourceQueue:
     sorts streams by arrival offset); each request holds the resource
     exclusively for its service time.  Zero-service requests pass through
     without occupying the server.
+
+    ``record=False`` disables the ``served`` retention list — the queue
+    state is then just the ``_free_at`` float, so per-request cost is a
+    single max/add with no list growth.  Long-running callers that only
+    consume the returned :class:`QueuedService` (the serving scheduler
+    charges waits per job and never reads ``served``) should disable
+    retention; ``busy_s`` requires it.
     """
 
-    def __init__(self, name: str = "resource"):
+    def __init__(self, name: str = "resource", record: bool = True):
         self.name = name
+        self.record = record
         self._free_at = 0.0
         self.served: list[QueuedService] = []
 
@@ -93,16 +144,23 @@ class ResourceQueue:
             raise ValueError("service_s must be non-negative")
         if service_s == 0:
             request = QueuedService(arrival_s, arrival_s, 0.0)
-            self.served.append(request)
+            if self.record:
+                self.served.append(request)
             return request
         start = max(arrival_s, self._free_at)
         request = QueuedService(arrival_s, start, service_s)
         self._free_at = request.finish_s
-        self.served.append(request)
+        if self.record:
+            self.served.append(request)
         return request
 
     def busy_s(self) -> float:
-        """Total service time the resource has delivered."""
+        """Total service time the resource has delivered (needs ``record``)."""
+        if not self.record:
+            raise ValueError(
+                f"resource {self.name!r} was created with record=False; "
+                "busy_s requires the served-request retention list"
+            )
         return sum(request.service_s for request in self.served)
 
 
@@ -188,10 +246,17 @@ class ReleasableResource:
     The serving scheduler models each stream's pipeline slot this way —
     a frame holds its stream until its finish time emerges from the shared
     DRE and PCIe queues, and frames queued behind it start on release.
+
+    All queue operations are O(1) per event — grants and releases touch
+    only the deque ends, never scan waiters.  ``record=False`` disables
+    the ``grants`` retention list, leaving the holder grant as the only
+    per-admission allocation (the serving scheduler reads grants solely
+    through the acquire callback).
     """
 
-    def __init__(self, name: str = "resource"):
+    def __init__(self, name: str = "resource", record: bool = True):
         self.name = name
+        self.record = record
         self._holder: ResourceGrant | None = None
         self._waiters: deque[tuple[float, Callable[[ResourceGrant], None]]] = deque()
         self.grants: list[ResourceGrant] = []
@@ -210,7 +275,8 @@ class ReleasableResource:
         if self._holder is None:
             grant = ResourceGrant(arrival_s=time_s, start_s=time_s)
             self._holder = grant
-            self.grants.append(grant)
+            if self.record:
+                self.grants.append(grant)
             callback(grant)
         else:
             self._waiters.append((time_s, callback))
@@ -227,7 +293,8 @@ class ReleasableResource:
             arrival_s, callback = self._waiters.popleft()
             grant = ResourceGrant(arrival_s=arrival_s, start_s=time_s)
             self._holder = grant
-            self.grants.append(grant)
+            if self.record:
+                self.grants.append(grant)
             callback(grant)
 
 
@@ -382,6 +449,249 @@ class PreemptiveResource:
             job.served_s += self.quantum_s
             self._ready.append(job)
             self._dispatch()
+
+
+class ArrayEventQueue:
+    """A deterministic event queue over ``(time, packed subkey, payload)``.
+
+    The array-backed replacement for :class:`EventLoop`'s heap of
+    ``(time, priority, key, seq, callback)`` tuples: the whole tie-break
+    is one integer (:func:`pack_subkey`), the payload is caller-defined
+    (the scheduler engine packs an event-type code and a job id into one
+    int and dispatches through an ``if/elif`` table instead of per-event
+    closures), and events whose times are known up front — the arrival
+    traces — are bulk-loaded once with a vectorized sort
+    (:meth:`preload`) and consumed through a cursor, never entering the
+    dynamic structure at all.
+
+    Three policies share the identical total order ``(time, subkey)``:
+
+    * ``"sorted"`` — a reverse-sorted list; push is a binary-search
+      insert, pop is ``list.pop()`` from the end.  At event-scheduler
+      depths (tens to a few thousand pending events) this beats a binary
+      heap by ~2× because the pop is allocation- and sift-free.
+    * ``"heap"`` — a classic binary heap; O(log n) either way, the
+      safest at very large depths.
+    * ``"calendar"`` — a bucketed calendar queue (one reverse-sorted
+      list per time bucket plus a heap of nonempty bucket keys); pushes
+      into the near future are O(bucket size).
+
+    The scheduler engine fuses the ``"sorted"`` policy's internals into
+    its dispatch loop; the class itself is the reference semantics the
+    property tests pin all three policies against.
+    """
+
+    POLICIES = ("sorted", "heap", "calendar")
+
+    __slots__ = (
+        "policy",
+        "_entries",
+        "_buckets",
+        "_bucket_keys",
+        "_width",
+        "_lane_t",
+        "_lane_sub",
+        "_lane_payload",
+        "_lane_pos",
+        "popped",
+    )
+
+    def __init__(self, policy: str = "sorted", bucket_width_s: float = 1e-3):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {self.POLICIES}")
+        if bucket_width_s <= 0:
+            raise ValueError(f"bucket_width_s must be positive, got {bucket_width_s}")
+        self.policy = policy
+        #: "sorted": descending (-t, -sub, payload); "heap": heapified
+        #: ascending (t, sub, payload) tuples.
+        self._entries: list = []
+        self._buckets: dict[int, list] = {}
+        self._bucket_keys: list[int] = []
+        self._width = float(bucket_width_s)
+        self._lane_t: list[float] = []
+        self._lane_sub: list[int] = []
+        self._lane_payload: list[int] = []
+        self._lane_pos = 0
+        #: events popped over the queue's lifetime
+        self.popped = 0
+
+    def __len__(self) -> int:
+        dynamic = (
+            sum(len(bucket) for bucket in self._buckets.values())
+            if self.policy == "calendar"
+            else len(self._entries)
+        )
+        return dynamic + len(self._lane_t) - self._lane_pos
+
+    # ------------------------------------------------------------------ #
+    # static lane
+    # ------------------------------------------------------------------ #
+    def preload(self, times_s, subs, payloads) -> None:
+        """Bulk-load statically known events with one vectorized sort.
+
+        ``times_s``, ``subs`` and ``payloads`` are parallel arrays; the
+        events are sorted by ``(time, subkey)`` (``np.lexsort``) and
+        consumed through a cursor that merges against dynamically pushed
+        events at pop time, so preloaded events never pay per-event
+        insertion.  May only be called while the lane is empty.
+        """
+        if self._lane_pos < len(self._lane_t):
+            raise ValueError("preload requires an exhausted static lane")
+        times_s = np.asarray(times_s, dtype=float)
+        subs = np.asarray(subs, dtype=np.int64)
+        payloads = np.asarray(payloads, dtype=np.int64)
+        if not times_s.shape == subs.shape == payloads.shape:
+            raise ValueError("times_s, subs and payloads must have matching shapes")
+        order = np.lexsort((subs, times_s))
+        self._lane_t = times_s[order].tolist()
+        self._lane_sub = subs[order].tolist()
+        self._lane_payload = payloads[order].tolist()
+        self._lane_pos = 0
+
+    # ------------------------------------------------------------------ #
+    # dynamic structure
+    # ------------------------------------------------------------------ #
+    def push(self, time_s: float, sub: int, payload: int = 0) -> None:
+        """Enqueue one event; ``sub`` is a :func:`pack_subkey` value."""
+        policy = self.policy
+        if policy == "sorted":
+            insort(self._entries, (-time_s, -sub, payload))
+        elif policy == "heap":
+            heapq.heappush(self._entries, (time_s, sub, payload))
+        else:
+            key = int(time_s / self._width)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [(-time_s, -sub, payload)]
+                heapq.heappush(self._bucket_keys, key)
+            else:
+                insort(bucket, (-time_s, -sub, payload))
+
+    def _dynamic_peek(self) -> tuple[float, int] | None:
+        policy = self.policy
+        if policy == "sorted":
+            if not self._entries:
+                return None
+            top = self._entries[-1]
+            return (-top[0], -top[1])
+        if policy == "heap":
+            if not self._entries:
+                return None
+            top = self._entries[0]
+            return (top[0], top[1])
+        while self._bucket_keys:
+            key = self._bucket_keys[0]
+            bucket = self._buckets.get(key)
+            if bucket:
+                top = bucket[-1]
+                return (-top[0], -top[1])
+            heapq.heappop(self._bucket_keys)  # drained or duplicate key
+            self._buckets.pop(key, None)
+        return None
+
+    def _dynamic_pop(self) -> tuple[float, int, int]:
+        policy = self.policy
+        if policy == "sorted":
+            neg_t, neg_sub, payload = self._entries.pop()
+            return (-neg_t, -neg_sub, payload)
+        if policy == "heap":
+            return heapq.heappop(self._entries)
+        key = self._bucket_keys[0]
+        neg_t, neg_sub, payload = self._buckets[key].pop()
+        return (-neg_t, -neg_sub, payload)
+
+    # ------------------------------------------------------------------ #
+    # merged view
+    # ------------------------------------------------------------------ #
+    def peek(self) -> tuple[float, int] | None:
+        """The next event's ``(time, subkey)`` without popping it."""
+        lane_pos = self._lane_pos
+        lane = None
+        if lane_pos < len(self._lane_t):
+            lane = (self._lane_t[lane_pos], self._lane_sub[lane_pos])
+        dynamic = self._dynamic_peek()
+        if lane is None:
+            return dynamic
+        if dynamic is None or lane <= dynamic:
+            return lane
+        return dynamic
+
+    def pop(self) -> tuple[float, int, int]:
+        """Remove and return the next ``(time, subkey, payload)``."""
+        lane_pos = self._lane_pos
+        lane_ready = lane_pos < len(self._lane_t)
+        dynamic = self._dynamic_peek()
+        if lane_ready:
+            lane_t = self._lane_t[lane_pos]
+            lane_sub = self._lane_sub[lane_pos]
+            if dynamic is None or (lane_t, lane_sub) <= dynamic:
+                self._lane_pos = lane_pos + 1
+                self.popped += 1
+                return (lane_t, lane_sub, self._lane_payload[lane_pos])
+        if dynamic is None:
+            raise IndexError("pop from an empty ArrayEventQueue")
+        self.popped += 1
+        return self._dynamic_pop()
+
+
+class IndexRing:
+    """An allocation-free multi-lane FIFO over preallocated index arrays.
+
+    Replaces the per-request ``deque`` + grant-object churn of
+    :class:`ReleasableResource` (stream pipeline slots) and the ready
+    deque of :class:`PreemptiveResource` in the array engine: each lane
+    is a linked list threaded through one shared ``next`` array, so a
+    push or pop moves two integers and allocates nothing.  An index may
+    be re-pushed after it was popped (round-robin requeue); pushing an
+    index that is still queued corrupts the lane — callers own that
+    invariant, exactly as they own not double-releasing a resource.
+    """
+
+    __slots__ = ("_next", "_head", "_tail", "_depth")
+
+    def __init__(self, capacity: int, lanes: int = 1):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if lanes < 1:
+            raise ValueError(f"lanes must be at least 1, got {lanes}")
+        self._next = [-1] * capacity
+        self._head = [-1] * lanes
+        self._tail = [-1] * lanes
+        self._depth = [0] * lanes
+
+    def push(self, lane: int, index: int) -> None:
+        """Append ``index`` at the tail of ``lane``."""
+        tail = self._tail[lane]
+        if tail < 0:
+            self._head[lane] = index
+        else:
+            self._next[tail] = index
+        self._tail[lane] = index
+        self._next[index] = -1
+        self._depth[lane] += 1
+
+    def pop(self, lane: int) -> int:
+        """Remove and return the head index of ``lane``."""
+        index = self._head[lane]
+        if index < 0:
+            raise IndexError(f"pop from empty lane {lane}")
+        nxt = self._next[index]
+        self._head[lane] = nxt
+        if nxt < 0:
+            self._tail[lane] = -1
+        self._depth[lane] -= 1
+        return index
+
+    def depth(self, lane: int) -> int:
+        """Indices currently queued on ``lane``."""
+        return self._depth[lane]
+
+    def items(self, lane: int):
+        """Yield the lane's queued indices head-to-tail (FIFO order)."""
+        index = self._head[lane]
+        while index >= 0:
+            yield index
+            index = self._next[index]
 
 
 @dataclass(frozen=True)

@@ -98,8 +98,8 @@ class PCIeLinkQueue(ResourceQueue):
     the batched performance plane charges to aligned frame arrivals.
     """
 
-    def __init__(self, link: PCIeLink):
-        super().__init__(name=link.config.name)
+    def __init__(self, link: PCIeLink, record: bool = True):
+        super().__init__(name=link.config.name, record=record)
         self.link = link
 
     def enqueue_transfer(

@@ -76,20 +76,39 @@ _COLD_SNAP_REL = 1e-12
 
 @dataclass
 class _SessionShards:
-    """Internal per-session shard state."""
+    """Internal per-session shard state.
+
+    ``cold_bytes`` and the derived :class:`ShardSplit` are cached between
+    warm-byte mutations: steady-state fetches (everything warm, or a
+    stable cold remainder re-read by the admission controller) are the
+    scheduler's hot path, and the cache turns them into attribute reads.
+    The cached values are produced by the exact same expressions as the
+    uncached path, so invalidation only ever changes *when* the floats
+    are computed, never their values.
+    """
 
     session_id: int
     hot_bytes: float
     offchip_bytes: float  # offloaded KV + HC tables (warm + cold)
     home_bytes: np.ndarray  # cluster-wise home distribution across banks
     warm_bytes: np.ndarray  # currently held in banks (<= home_bytes)
+    _cold_cache: float | None = None
+    _split_cache: "ShardSplit | None" = None
+
+    def invalidate(self) -> None:
+        """Drop cached tier views after a warm-byte mutation."""
+        self._cold_cache = None
+        self._split_cache = None
 
     @property
     def cold_bytes(self) -> float:
         """Bytes on the SSD tier, snapped to zero within float-sum slack."""
-        cold = self.offchip_bytes - float(self.warm_bytes.sum())
-        if cold <= self.offchip_bytes * _COLD_SNAP_REL:
-            return 0.0
+        cold = self._cold_cache
+        if cold is None:
+            cold = self.offchip_bytes - float(self.warm_bytes.sum())
+            if cold <= self.offchip_bytes * _COLD_SNAP_REL:
+                cold = 0.0
+            self._cold_cache = cold
         return cold
 
 
@@ -169,6 +188,9 @@ class ShardedKVHierarchy:
         self._clock = 0
         self._last_used: dict[int, int] = {}
         self.evictions: list[EvictionRecord] = []
+        #: bumped on every occupancy mutation (registration, promotion,
+        #: demotion) — lets pollers skip re-reading unchanged occupancy
+        self.occupancy_version = 0
 
     # ------------------------------------------------------------------ #
     # registration
@@ -200,6 +222,7 @@ class ShardedKVHierarchy:
         headroom = np.maximum(self.bank_budget_bytes - self._occupancy, 0.0)
         warm = np.minimum(home, headroom)
         self._occupancy += warm
+        self.occupancy_version += 1
         self._shards[session_id] = _SessionShards(
             session_id=session_id,
             hot_bytes=float(hot_bytes),
@@ -265,16 +288,22 @@ class ShardedKVHierarchy:
         degenerate fully-warm single-channel split.
         """
         shard = self._shard(session_id)
+        split = shard._split_cache
+        if split is not None:
+            return split
         if shard.offchip_bytes <= 0:
+            shard._split_cache = _FULLY_WARM
             return _FULLY_WARM
         fractions = shard.warm_bytes / shard.offchip_bytes
-        return ShardSplit(
+        split = ShardSplit(
             warm_fractions=tuple(float(f) for f in fractions),
             # derived from the byte-level remainder (snapped within float-sum
             # slack), never from 1 - sum(fractions): a fully-warm session
             # must not price a spurious 1e-16-fraction SSD leg
             cold_fraction=shard.cold_bytes / shard.offchip_bytes,
         )
+        shard._split_cache = split
+        return split
 
     def home_split(self, session_id: int) -> ShardSplit:
         """The split a fully-promoted fetch would see (all shards home-warm).
@@ -348,13 +377,16 @@ class ShardedKVHierarchy:
             promoted += gain
             if dry_run:
                 continue
+            self.occupancy_version += 1
             for victim, bytes_out in victims:
                 victim.warm_bytes[bank] = 0.0
+                victim.invalidate()
                 self._occupancy[bank] -= bytes_out
                 self.evictions.append(
                     EvictionRecord(victim.session_id, bank, bytes_out)
                 )
             shard.warm_bytes[bank] += gain
+            shard.invalidate()
             self._occupancy[bank] += gain
         return promoted
 

@@ -1,0 +1,752 @@
+"""Struct-of-arrays fast engine of the serving scheduler.
+
+This is the array-backed port of :meth:`ServingScheduler._run_reference`
+(:mod:`repro.sim.scheduler`), built for 1k–10k-stream fleets.  The
+reference loop spends its time allocating: one closure plus one heap tuple
+per event, a ``_Job`` per unit of work, a grant object per slot handoff, a
+frozen ``TimelineTask`` per resource interval.  The engine replaces every
+one of those with integers moving through preallocated structures:
+
+* events live in an :class:`~repro.hw.event.ArrayEventQueue` as
+  ``(time, packed subkey, payload)`` — the whole ``(priority, key, seq)``
+  tie-break is one integer (:func:`~repro.hw.event.pack_subkey`), and the
+  payload packs a job id and an event-type code (``job << 3 | code``)
+  dispatched through an ``if/elif`` table instead of per-event closures;
+  the statically known arrival events are bulk-sorted once
+  (:meth:`~repro.hw.event.ArrayEventQueue.preload`) and consumed through
+  a cursor, never touching the dynamic structure;
+* job bookkeeping is the :class:`~repro.sim.jobtable.JobTable`'s
+  preallocated columns, filled by integer index in the reference loop's
+  record-insertion order;
+* stream pipeline slots and the preemptive ready queue are lanes of one
+  :class:`~repro.hw.event.IndexRing` — a push or pop moves two integers;
+* the shared DRE and PCIe link are each a single ``free_at`` float (the
+  whole mutable state of a work-conserving FCFS server), with the
+  warm/cold fetch pricers memoized per ``(stage, bytes)`` — the sharded
+  fetch re-pricing is the hot path of memory-bound runs.
+
+**Bit-exactness contract.**  The engine replays the reference loop's
+float operations in the identical order: DRE/link starts are
+``max(arrival, free_at)``, exposures inline
+:func:`~repro.sim.batched.contended_exposure`'s exact expressions, the
+time-sliced state machine mirrors ``_TimeslicedStage`` transition for
+transition (including dispatch-before-callback at slice ends), and every
+event's ``seq`` is consumed at the same point the reference loop's
+``EventLoop.schedule`` would consume it — so both engines produce the
+same event order, the same records, the same timelines and the same
+event counts.  The engine-equivalence tests pin this on random fleets.
+
+``seq`` arithmetic uses raw integer adds against per-stream packed bases;
+a single run is limited to ``2**28`` scheduled events (the
+:data:`~repro.hw.event.SUBKEY_SEQ_BITS` budget), vastly beyond any
+practical run.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.hw.event import ArrayEventQueue, IndexRing, pack_subkey
+from repro.hw.memory.sharding import sharded_fetch_makespan
+from repro.sim.batched import PRIO_ARRIVAL, PRIO_COMPLETE, PRIO_ISSUE, PRIO_LINK
+from repro.sim.jobtable import (
+    ADM_BACKLOG,
+    ADM_DEFER,
+    JobTable,
+    TL_COMPUTE,
+    TL_DRE,
+    TL_PCIE,
+    TL_VISION,
+)
+from repro.sim.scheduler import (
+    FRAME_JOB,
+    GENERATION_JOB,
+    QUESTION_JOB,
+    ScheduleResult,
+    _RunContext,
+)
+
+import numpy as np
+
+#: Event-type codes packed into the low payload bits (``payload >> 3`` is
+#: the job id, or the preemptive-sub-job id for ``C_SLICE``).
+C_ISSUE, C_LINK, C_FINISH, C_SLICE, C_TSLINK = 0, 1, 2, 3, 4
+
+
+def _memoized(pricer):
+    """Memoize a pure per-bytes fetch pricer (the sharded re-pricing hot path)."""
+    if pricer is None:
+        return None
+    cache: dict = {}
+
+    def priced_time(num_bytes, _pricer=pricer, _cache=cache):
+        t = _cache.get(num_bytes)
+        if t is None:
+            t = _pricer(num_bytes)
+            _cache[num_bytes] = t
+        return t
+
+    return priced_time
+
+
+def run_array(ctx: _RunContext) -> ScheduleResult:
+    """Simulate one validated run on the array engine."""
+    cfg = ctx.config
+    profiles = ctx.profiles
+    num_streams = len(profiles)
+    traces = ctx.traces
+    question_arrivals = ctx.question_arrivals
+    answers = list(ctx.answers)
+    memory = ctx.memory
+    is_vrex = ctx.is_vrex
+    num_layers = ctx.num_layers
+    priced = ctx.priced
+    timesliced = cfg.compute == "timesliced"
+    quantum = cfg.quantum_s
+    deadline = cfg.deadline_s
+    max_depth = cfg.max_queue_depth
+    drop_late = cfg.drop_late
+    residency = ctx.residency_admission
+
+    session_ids = [profile.session_id for profile in profiles]
+    table = JobTable(traces, question_arrivals, answers, session_ids)
+    num_jobs = table.num_jobs
+    gen_base = table.gen_base
+
+    # static per-job columns as plain lists (C-speed integer indexing)
+    streams = table.stream.tolist()
+    kinds = table.kind.tolist()
+    indices = table.index.tolist()
+    arrival = table.arrival  # mutated as generation chains materialize
+
+    # flattened per-(stream, kind) stage columns, b = stream * 3 + kind
+    st_active: list = []
+    st_on_dre: list = []
+    st_overlaps: list = []
+    st_vision: list = []
+    st_compute: list = []
+    st_pred: list = []
+    st_fetch: list = []
+    st_fbytes: list = []
+    st_warm: list = []
+    st_cold: list = []
+    st_solo_warm: list = []
+    st_solo_cold: list = []
+    for stage_map in priced:
+        for kind_name in (FRAME_JOB, QUESTION_JOB, GENERATION_JOB):
+            stage = stage_map[kind_name]
+            st_active.append(stage.active)
+            st_on_dre.append(stage.on_dre)
+            st_overlaps.append(stage.overlaps)
+            st_vision.append(stage.vision_s)
+            st_compute.append(stage.compute_s)
+            st_pred.append(stage.prediction_s)
+            st_fetch.append(stage.fetch_s)
+            st_fbytes.append(stage.fetch_bytes_layer)
+            st_warm.append(_memoized(stage.warm_time_s))
+            st_cold.append(_memoized(stage.cold_time_s))
+            st_solo_warm.append(stage.solo_warm_s)
+            st_solo_cold.append(stage.solo_cold_s)
+
+    # packed subkey bases: rank of (session_id, stream) in the run's sorted
+    # key set makes integer subkey order == the EventLoop's tuple order
+    keys = sorted((session_ids[s], s) for s in range(num_streams))
+    rank_of = {key: rank for rank, key in enumerate(keys)}
+    base_complete = [0] * num_streams
+    base_arrival = [0] * num_streams
+    base_issue = [0] * num_streams
+    base_link = [0] * num_streams
+    for s in range(num_streams):
+        rank = rank_of[(session_ids[s], s)]
+        base_complete[s] = pack_subkey(PRIO_COMPLETE, rank, 0)
+        base_arrival[s] = pack_subkey(PRIO_ARRIVAL, rank, 0)
+        base_issue[s] = pack_subkey(PRIO_ISSUE, rank, 0)
+        base_link[s] = pack_subkey(PRIO_LINK, rank, 0)
+
+    # arrival lane: the reference loop schedules per stream its frames then
+    # its question, consuming seqs 0..A-1; dynamic events continue at A
+    queue = ArrayEventQueue("heap")
+    lane_t_parts = []
+    lane_sub_parts = []
+    lane_job_parts = []
+    seq = 0
+    for s in range(num_streams):
+        frames = len(traces[s])
+        if frames:
+            lane_t_parts.append(np.asarray(traces[s], dtype=float))
+            lane_sub_parts.append(
+                base_arrival[s] + np.arange(seq, seq + frames, dtype=np.int64)
+            )
+            first = table.frame_base[s]
+            lane_job_parts.append(
+                (np.arange(first, first + frames, dtype=np.int64) << 3) | C_ISSUE
+            )
+            seq += frames
+        if question_arrivals[s] is not None:
+            lane_t_parts.append(np.array([float(question_arrivals[s])]))
+            lane_sub_parts.append(np.array([base_arrival[s] + seq], dtype=np.int64))
+            lane_job_parts.append(
+                np.array([table.question_id[s] << 3], dtype=np.int64)
+            )
+            seq += 1
+    if lane_t_parts:
+        queue.preload(
+            np.concatenate(lane_t_parts),
+            np.concatenate(lane_sub_parts),
+            np.concatenate(lane_job_parts),
+        )
+    entries = queue._entries
+    lane_t = queue._lane_t
+    lane_sub = queue._lane_sub
+    lane_job = queue._lane_payload
+    lane_i = 0
+    lane_n = len(lane_t)
+
+    # per-job dynamic state (defaults match a fresh reference _Job)
+    j_start = [0.0] * num_jobs
+    j_adm = [0] * num_jobs
+    j_pcie = [0.0] * num_jobs
+    j_dre = [0.0] * num_jobs
+    j_cwait = [0.0] * num_jobs
+    j_fetch = [0.0] * num_jobs
+    j_tstart = [0.0] * num_jobs  # stage start (private + timesliced)
+    j_pend = [0.0] * num_jobs  # prediction end
+    j_request = [0.0] * num_jobs  # private link-request time
+    j_cfin = [-1.0] * num_jobs  # timesliced compute finish (-1 = pending)
+    j_chain = [-1.0] * num_jobs  # timesliced fetch/prediction chain end
+    j_trs = [0.0] * num_jobs  # timesliced transfer start
+    j_trp = [False] * num_jobs  # timesliced transfer present
+
+    # stream pipeline slots: lane s of one ring; busy flags replace holders
+    ring = IndexRing(num_jobs, max(1, num_streams))
+    slot_busy = bytearray(num_streams)
+    track_busy = memory is not None
+    busy_set: set[int] = set()
+
+    # preemptive compute server (timesliced mode): sub-jobs as parallel
+    # lists, the ready queue as lane 0 of its own ring
+    psub_job: list[int] = []
+    psub_kind: list[int] = []  # 0 = prediction, 1 = compute
+    psub_work: list[float] = []
+    psub_served: list[float] = []
+    ps_ring = IndexRing(max(1, 2 * num_jobs), 1) if timesliced else None
+    ps_running = -1
+
+    # shared FCFS servers: their whole mutable state is one float each
+    dre_free = 0.0
+    link_free = 0.0
+
+    # record columns and the compact timeline log
+    rec_job = table.rec_job
+    rec_arrival = table.rec_arrival
+    rec_start = table.rec_start
+    rec_finish = table.rec_finish
+    rec_dropped = table.rec_dropped
+    rec_admission = table.rec_admission
+    rec_pcie = table.rec_pcie
+    rec_dre = table.rec_dre
+    rec_cwait = table.rec_cwait
+    n_rec = 0
+    tl_append = table.timeline_log.append
+
+    trajectory: list[tuple[float, tuple[float, ...]]] = []
+    now = 0.0
+    events = 0
+
+    noted_version = -1
+
+    def note_occupancy() -> None:
+        nonlocal noted_version
+        version = memory.occupancy_version
+        if version == noted_version:
+            return  # no occupancy mutation since the last poll
+        noted_version = version
+        occupancy = tuple(float(b) for b in memory.bank_occupancy_bytes())
+        if not trajectory or trajectory[-1][1] != occupancy:
+            trajectory.append((now, occupancy))
+
+    if memory is not None:
+        note_occupancy()  # registration-time state at t=0
+
+    # ------------------------------------------------------------------ #
+    # preemptive server (mirrors PreemptiveResource transition for
+    # transition, including dispatch-before-callback at slice ends)
+    # ------------------------------------------------------------------ #
+    def ps_dispatch() -> None:
+        nonlocal ps_running, seq
+        p = ps_ring.pop(0)
+        ps_running = p
+        remaining = psub_work[p] - psub_served[p]
+        slice_s = quantum if quantum <= remaining else remaining
+        s = streams[psub_job[p]]
+        heappush(entries, (now + slice_s, base_complete[s] + seq, (p << 3) | C_SLICE))
+        seq += 1
+
+    def ps_submit(job: int, kind_flag: int, work_s: float) -> None:
+        psub_job.append(job)
+        psub_kind.append(kind_flag)
+        psub_work.append(work_s)
+        psub_served.append(0.0)
+        ps_ring.push(0, len(psub_job) - 1)
+        if ps_running < 0:
+            ps_dispatch()
+
+    # ------------------------------------------------------------------ #
+    # timesliced stage machine (mirrors batched._TimeslicedStage)
+    # ------------------------------------------------------------------ #
+    def ts_submit_compute(job: int, b: int) -> None:
+        j_csub[job] = now
+        compute_s = st_compute[b]
+        if compute_s > 0.0:
+            ps_submit(job, 1, compute_s)
+        else:
+            j_cfin[job] = now
+            ts_compute_resolved(job, b)
+
+    def ts_after_prediction(job: int, b: int) -> None:
+        nonlocal seq
+        if st_overlaps[b]:
+            if j_fetch[job] > 0.0:
+                s = streams[job]
+                heappush(
+                    entries,
+                    (j_pend[job], base_link[s] + seq, (job << 3) | C_TSLINK),
+                )
+                seq += 1
+            else:
+                j_chain[job] = j_pend[job]
+        ts_submit_compute(job, b)
+
+    def ts_compute_resolved(job: int, b: int) -> None:
+        nonlocal seq
+        if not is_vrex and not st_overlaps[b]:
+            if j_fetch[job] > 0.0:
+                s = streams[job]
+                heappush(
+                    entries,
+                    (j_cfin[job], base_link[s] + seq, (job << 3) | C_TSLINK),
+                )
+                seq += 1
+            else:
+                j_chain[job] = j_cfin[job]
+        ts_maybe_finish(job, b)
+
+    def ts_maybe_finish(job: int, b: int) -> None:
+        nonlocal seq
+        cfin = j_cfin[job]
+        chain = j_chain[job]
+        if cfin < 0.0 or chain < 0.0:
+            return
+        compute_s = st_compute[b]
+        if compute_s > 0.0:
+            j_cwait[job] = cfin - j_csub[job] - compute_s
+            tl_append((job, TL_COMPUTE, j_csub[job], cfin - j_csub[job]))
+        prediction_s = st_pred[b]
+        if st_on_dre[b] and prediction_s > 0.0:
+            tl_append((job, TL_DRE, j_pend[job] - prediction_s, prediction_s))
+        if j_trp[job]:
+            tl_append((job, TL_PCIE, j_trs[job], j_fetch[job]))
+        finish_s = cfin if cfin >= chain else chain
+        s = streams[job]
+        heappush(entries, (finish_s, base_complete[s] + seq, (job << 3) | C_FINISH))
+        seq += 1
+
+    j_csub = [0.0] * num_jobs  # timesliced compute submit time
+
+    # ------------------------------------------------------------------ #
+    # admission / slot lifecycle (mirrors the reference closures)
+    # ------------------------------------------------------------------ #
+    def residency_decision(job: int, s: int) -> int:
+        b = s * 3 + kinds[job]
+        if not st_active[b] or st_fbytes[b] <= 0.0:
+            return 0
+        session = session_ids[s]
+        backlog_jobs = ring_depth[s] + (1 if slot_busy[s] else 0)
+        compute_backlog = 0.0
+        if timesliced:
+            for p in ps_ring.items(0):
+                compute_backlog += psub_work[p] - psub_served[p]
+            if ps_running >= 0:
+                compute_backlog += psub_work[ps_running] - psub_served[ps_running]
+        cold_frac = memory.cold_fraction(session)
+        solo_warm = st_solo_warm[b]
+        own = solo_warm + cold_frac * (st_solo_cold[b] - solo_warm)
+        estimate = backlog_jobs * solo_warm + compute_backlog + own
+        if estimate <= deadline:
+            return 0
+        if cold_frac > 0.0:
+            warm_estimate = (backlog_jobs + 1) * solo_warm + compute_backlog
+            if warm_estimate > deadline:
+                return ADM_DEFER  # not even a full promotion would save it
+            protected = busy_set.copy()
+            protected.discard(session)
+            cold = memory.cold_bytes(session)
+            promotable = memory.promote(session, protected=protected, dry_run=True)
+            if promotable >= cold * (1.0 - 1e-9):
+                memory.promote(session, protected=protected)
+                note_occupancy()
+                return 1  # ADM_EVICT
+        return ADM_DEFER
+
+    # ring internals inlined into the per-event closures: a push or pop is
+    # two list stores, no method call
+    ring_next = ring._next
+    ring_head = ring._head
+    ring_tail = ring._tail
+    ring_depth = ring._depth
+
+    def submit(job: int, t: float) -> None:
+        nonlocal n_rec
+        s = streams[job]
+        busy = slot_busy[s]
+        if busy and max_depth is not None and ring_depth[s] >= max_depth:
+            i = n_rec
+            rec_job[i] = job
+            rec_arrival[i] = t
+            rec_start[i] = t
+            rec_finish[i] = t
+            rec_dropped[i] = True
+            rec_admission[i] = ADM_BACKLOG
+            n_rec = i + 1
+            return
+        if residency:
+            decision = residency_decision(job, s)
+            if decision == ADM_DEFER:
+                i = n_rec
+                rec_job[i] = job
+                rec_arrival[i] = t
+                rec_start[i] = t
+                rec_finish[i] = t
+                rec_dropped[i] = True
+                rec_admission[i] = ADM_DEFER
+                n_rec = i + 1
+                return
+            j_adm[job] = decision
+        if busy:
+            tail = ring_tail[s]
+            if tail < 0:
+                ring_head[s] = job
+            else:
+                ring_next[tail] = job
+            ring_tail[s] = job
+            ring_next[job] = -1
+            ring_depth[s] += 1
+        else:
+            slot_busy[s] = 1
+            if track_busy:
+                busy_set.add(session_ids[s])
+            begin(job, t)
+
+    def release(s: int, t: float) -> None:
+        head = ring_head[s]
+        if head >= 0:
+            nxt = ring_next[head]
+            ring_head[s] = nxt
+            if nxt < 0:
+                ring_tail[s] = -1
+            ring_depth[s] -= 1
+            begin(head, t)
+        else:
+            slot_busy[s] = 0
+            if track_busy:
+                busy_set.discard(session_ids[s])
+
+    def begin(job: int, t: float) -> None:
+        nonlocal seq, n_rec
+        j_start[job] = t
+        if drop_late and t - arrival[job] > deadline:
+            i = n_rec
+            rec_job[i] = job
+            rec_arrival[i] = arrival[job]
+            rec_start[i] = t
+            rec_finish[i] = t
+            rec_dropped[i] = True
+            rec_admission[i] = j_adm[job]
+            n_rec = i + 1
+            release(streams[job], t)
+            return
+        b = streams[job] * 3 + kinds[job]
+        if not st_active[b]:
+            finish(job, t)
+            return
+        s = streams[job]
+        heappush(
+            entries, (t + st_vision[b], base_issue[s] + seq, (job << 3) | C_ISSUE)
+        )
+        seq += 1
+
+    def finish(job: int, t: float) -> None:
+        nonlocal n_rec
+        i = n_rec
+        rec_job[i] = job
+        rec_arrival[i] = arrival[job]
+        rec_start[i] = j_start[job]
+        rec_finish[i] = t
+        rec_admission[i] = j_adm[job]
+        rec_pcie[i] = j_pcie[job]
+        rec_dre[i] = j_dre[job]
+        rec_cwait[i] = j_cwait[job]
+        n_rec = i + 1
+        s = streams[job]
+        release(s, t)
+        kind = kinds[job]
+        if kind == 1:  # question → first generation token
+            if answers[s] > 0:
+                chained = gen_base[s]
+                arrival[chained] = t
+                submit(chained, t)
+        elif kind == 2 and indices[job] < answers[s] - 1:
+            chained = job + 1
+            arrival[chained] = t
+            submit(chained, t)
+
+    # ------------------------------------------------------------------ #
+    # dispatch loop
+    # ------------------------------------------------------------------ #
+    while True:
+        if lane_i < lane_n:
+            if entries:
+                top = entries[0]
+                next_t = top[0]
+                this_t = lane_t[lane_i]
+                if next_t < this_t or (
+                    next_t == this_t and top[1] < lane_sub[lane_i]
+                ):
+                    heappop(entries)
+                    now = next_t
+                    payload = top[2]
+                else:
+                    now = this_t
+                    events += 1
+                    submit(lane_job[lane_i] >> 3, now)
+                    lane_i += 1
+                    continue
+            else:
+                now = lane_t[lane_i]
+                events += 1
+                submit(lane_job[lane_i] >> 3, now)
+                lane_i += 1
+                continue
+        elif entries:
+            top = heappop(entries)
+            now = top[0]
+            payload = top[2]
+        else:
+            break
+        events += 1
+        code = payload & 7
+        job = payload >> 3
+
+        if code == C_ISSUE:
+            s = streams[job]
+            b = s * 3 + kinds[job]
+            # per-job fetch re-priced at the session's current residency
+            if memory is not None and st_fbytes[b] > 0.0:
+                session = session_ids[s]
+                protected = busy_set.copy()
+                protected.discard(session)
+                split = memory.commit_fetch(session, protected=protected)
+                note_occupancy()
+                fetch = (
+                    sharded_fetch_makespan(st_fbytes[b], split, st_warm[b], st_cold[b])
+                    * num_layers
+                )
+            else:
+                fetch = st_fetch[b]
+            vision_s = st_vision[b]
+            compute_s = st_compute[b]
+            prediction_s = st_pred[b]
+            if timesliced:
+                j_fetch[job] = fetch
+                if vision_s > 0.0:
+                    tl_append((job, TL_VISION, j_start[job], vision_s))
+                j_tstart[job] = now
+                j_csub[job] = now
+                j_cfin[job] = -1.0
+                j_chain[job] = -1.0
+                if is_vrex:
+                    ts_submit_compute(job, b)
+                    if st_on_dre[b] and prediction_s > 0.0:
+                        served_at = now if now >= dre_free else dre_free
+                        j_dre[job] = served_at - now
+                        pend = served_at + prediction_s
+                        dre_free = pend
+                    else:
+                        pend = now + prediction_s
+                    j_pend[job] = pend
+                    if fetch > 0.0:
+                        heappush(
+                            entries,
+                            (pend, base_link[s] + seq, (job << 3) | C_TSLINK),
+                        )
+                        seq += 1
+                    else:
+                        j_chain[job] = pend
+                    ts_maybe_finish(job, b)
+                elif prediction_s > 0.0:
+                    ps_submit(job, 0, prediction_s)
+                else:
+                    j_pend[job] = now
+                    ts_after_prediction(job, b)
+                continue
+            # private compute: inline contended_issue_timing
+            if is_vrex:
+                if st_on_dre[b] and prediction_s > 0.0:
+                    served_at = now if now >= dre_free else dre_free
+                    dre_wait = served_at - now
+                    pend = served_at + prediction_s
+                    dre_free = pend
+                    j_dre[job] = dre_wait
+                else:
+                    pend = now + prediction_s
+                    dre_wait = 0.0
+                request = pend
+            elif st_overlaps[b]:
+                pend = now + prediction_s
+                request = pend
+                dre_wait = 0.0
+            else:
+                pend = now + prediction_s
+                request = now + prediction_s + compute_s
+                dre_wait = 0.0
+            if vision_s > 0.0:
+                tl_append((job, TL_VISION, j_start[job], vision_s))
+            if compute_s > 0.0:
+                tl_append((job, TL_COMPUTE, now, compute_s))
+            if st_on_dre[b] and prediction_s > 0.0:
+                tl_append((job, TL_DRE, now + dre_wait, prediction_s))
+            if st_fetch[b] > 0.0:
+                j_tstart[job] = now
+                j_request[job] = request
+                j_fetch[job] = fetch
+                heappush(entries, (request, base_link[s] + seq, (job << 3) | C_LINK))
+                seq += 1
+            else:
+                # inline contended_exposure with no transfer
+                if is_vrex:
+                    hidden = pend - now
+                    latency = compute_s if compute_s >= hidden else hidden
+                else:
+                    latency = prediction_s + compute_s
+                finish_s = now + latency
+                heappush(
+                    entries,
+                    (finish_s, base_complete[s] + seq, (job << 3) | C_FINISH),
+                )
+                seq += 1
+
+        elif code == C_LINK:
+            # private link grant: inline PCIeLinkQueue.enqueue + exposure
+            fetch = j_fetch[job]
+            if fetch == 0.0:
+                transfer_start = now
+                fetch_end = now
+            else:
+                transfer_start = now if now >= link_free else link_free
+                fetch_end = transfer_start + fetch
+                link_free = fetch_end
+            j_pcie[job] = transfer_start - now
+            tl_append((job, TL_PCIE, transfer_start, fetch))
+            s = streams[job]
+            b = s * 3 + kinds[job]
+            start = j_tstart[job]
+            compute_s = st_compute[b]
+            if is_vrex:
+                hidden = fetch_end - start
+                latency = compute_s if compute_s >= hidden else hidden
+            elif st_overlaps[b]:
+                fetch_effective = fetch_end - j_request[job]
+                latency = st_pred[b] + (
+                    compute_s if compute_s >= fetch_effective else fetch_effective
+                )
+            else:
+                latency = st_pred[b] + compute_s + (fetch_end - j_request[job])
+            finish_s = start + latency
+            heappush(
+                entries, (finish_s, base_complete[s] + seq, (job << 3) | C_FINISH)
+            )
+            seq += 1
+
+        elif code == C_FINISH:
+            # finish() inlined: the hottest branch, one event per completed job
+            i = n_rec
+            rec_job[i] = job
+            rec_arrival[i] = arrival[job]
+            rec_start[i] = j_start[job]
+            rec_finish[i] = now
+            rec_admission[i] = j_adm[job]
+            rec_pcie[i] = j_pcie[job]
+            rec_dre[i] = j_dre[job]
+            rec_cwait[i] = j_cwait[job]
+            n_rec = i + 1
+            s = streams[job]
+            head = ring_head[s]
+            if head >= 0:
+                nxt = ring_next[head]
+                ring_head[s] = nxt
+                if nxt < 0:
+                    ring_tail[s] = -1
+                ring_depth[s] -= 1
+                begin(head, now)
+            else:
+                slot_busy[s] = 0
+                if track_busy:
+                    busy_set.discard(session_ids[s])
+            kind = kinds[job]
+            if kind == 1:  # question → first generation token
+                if answers[s] > 0:
+                    chained = gen_base[s]
+                    arrival[chained] = now
+                    submit(chained, now)
+            elif kind == 2 and indices[job] < answers[s] - 1:
+                chained = job + 1
+                arrival[chained] = now
+                submit(chained, now)
+
+        elif code == C_SLICE:
+            p = job  # preemptive sub-job index
+            ps_running = -1
+            remaining = psub_work[p] - psub_served[p]
+            if remaining <= quantum:
+                psub_served[p] = psub_work[p]
+                if ps_ring.depth(0) > 0:
+                    ps_dispatch()
+                owner = psub_job[p]
+                b = streams[owner] * 3 + kinds[owner]
+                if psub_kind[p] == 0:
+                    j_pend[owner] = now
+                    ts_after_prediction(owner, b)
+                else:
+                    j_cfin[owner] = now
+                    ts_compute_resolved(owner, b)
+            else:
+                psub_served[p] = psub_served[p] + quantum
+                ps_ring.push(0, p)
+                ps_dispatch()
+
+        else:  # C_TSLINK: timesliced link grant
+            fetch = j_fetch[job]
+            transfer_start = now if now >= link_free else link_free
+            fetch_end = transfer_start + fetch
+            link_free = fetch_end
+            j_pcie[job] = transfer_start - now
+            j_trp[job] = True
+            j_trs[job] = transfer_start
+            j_chain[job] = fetch_end
+            ts_maybe_finish(job, streams[job] * 3 + kinds[job])
+
+    queue._lane_pos = lane_i
+    table.num_records = n_rec
+    columns = table.finalize(deadline)
+    return ScheduleResult(
+        system=ctx.system.name,
+        config=cfg,
+        num_streams=num_streams,
+        events_processed=events,
+        oom=ctx.plane._batched_oom(ctx.system, profiles),
+        memory=memory,
+        bank_occupancy_trajectory=trajectory,
+        columns=columns,
+        table=table,
+        timesliced=timesliced,
+    )

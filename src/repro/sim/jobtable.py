@@ -1,0 +1,263 @@
+"""Struct-of-arrays job bookkeeping for the array scheduler engine.
+
+The reference scheduler (:mod:`repro.sim.scheduler`) allocates one mutable
+``_Job`` per unit of work, one frozen ``JobRecord`` per outcome and one
+frozen ``TimelineTask`` per resource interval — ~1 µs of allocation and
+``__init__`` validation per object, the dominant cost of a run once the
+event loop itself is array-backed.  This module replaces all three with
+preallocated parallel columns:
+
+* :class:`JobTable` — static per-job columns (stream, kind, index,
+  session) built once per run with every potential job pre-enumerated
+  (frames and questions from the traces, generation jobs from the answer
+  budgets), plus preallocated record columns the engine fills by integer
+  index, plus a compact timeline log of ``(job, resource code, start,
+  duration)`` tuples;
+* :class:`RecordColumns` — the run's finished record set as sorted numpy
+  columns, from which the dataclass views (``JobRecord`` lists, the
+  :class:`~repro.hw.event.Timeline`) are reconstructed *lazily* for API
+  compatibility while percentile/miss/drop statistics are computed
+  directly on the arrays.
+
+Bit-compatibility contract: records sort by ``(finish_s, stream_index,
+job_index)`` with a *stable* sort (``np.lexsort``), matching the reference
+loop's ``sorted`` call over its insertion-ordered record list, and the
+deadline-miss flag is the same ``finish - arrival > deadline`` float
+comparison the reference applies per record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.event import Timeline
+
+#: Integer job-kind codes; ``KIND_NAMES[code]`` is the public kind string
+#: (:data:`repro.sim.scheduler.FRAME_JOB` etc.).
+KIND_FRAME, KIND_QUESTION, KIND_GENERATION = 0, 1, 2
+KIND_NAMES = ("frame", "question", "generation")
+
+#: Integer admission-outcome codes; ``ADMISSION_NAMES[code]`` is the public
+#: admission string (:data:`repro.sim.scheduler.ADMIT` etc.).
+ADM_ADMIT, ADM_EVICT, ADM_BACKLOG, ADM_DEFER = 0, 1, 2, 3
+ADMISSION_NAMES = ("admit", "evict", "backlog", "defer")
+
+#: Timeline resource codes of the compact log.
+TL_VISION, TL_COMPUTE, TL_DRE, TL_PCIE = 0, 1, 2, 3
+
+
+class JobTable:
+    """Preallocated per-job columns of one scheduler run.
+
+    Every job the run *could* produce is enumerated up front in the
+    reference loop's scheduling order — per stream: its frames, then its
+    question, then its potential generation chain — so job ids are dense
+    integers and the record columns can be preallocated to the exact
+    worst case.  Generation jobs only materialize if their question
+    finishes; unrecorded ids simply never enter the record columns.
+    """
+
+    def __init__(self, traces, question_arrivals, answers, session_ids):
+        num_streams = len(session_ids)
+        self.num_streams = num_streams
+        # fully vectorized layout: per stream its frames, then its question,
+        # then its potential generation chain — built with repeat/cumsum
+        # instead of per-stream array allocations (the dominant setup cost
+        # at 1k+ streams)
+        frames = np.array([len(trace) for trace in traces], dtype=np.int64)
+        has_question = np.array(
+            [at is not None for at in question_arrivals], dtype=bool
+        )
+        chained = np.where(
+            has_question, np.asarray(answers, dtype=np.int64), 0
+        )
+        counts = frames + np.where(has_question, 1 + chained, 0)
+        starts = np.zeros(num_streams, dtype=np.int64)
+        if num_streams:
+            starts[1:] = np.cumsum(counts)[:-1]
+        num_jobs = int(counts.sum()) if num_streams else 0
+        self.num_jobs = num_jobs
+        self.frame_base = starts.tolist()
+        question_id = np.where(has_question, starts + frames, -1)
+        self.question_id = question_id.tolist()
+        self.gen_base = np.where(
+            has_question & (chained > 0), question_id + 1, -1
+        ).tolist()
+        stream_col = np.repeat(np.arange(num_streams, dtype=np.int64), counts)
+        pos = np.arange(num_jobs, dtype=np.int64) - np.repeat(starts, counts)
+        frames_rep = np.repeat(frames, counts)
+        kind = np.where(
+            pos == frames_rep,
+            KIND_QUESTION,
+            np.where(pos > frames_rep, KIND_GENERATION, KIND_FRAME),
+        )
+        index = np.where(
+            pos > frames_rep, pos - frames_rep - 1, np.where(pos == frames_rep, 0, pos)
+        )
+        arrival = np.full(num_jobs, np.nan)
+        if num_jobs:
+            frame_mask = pos < frames_rep
+            if frames.any():
+                arrival[frame_mask] = np.concatenate(
+                    [np.asarray(trace, dtype=float) for trace in traces if len(trace)]
+                )
+            question_pos = question_id[has_question]
+            if question_pos.size:
+                arrival[question_pos] = [
+                    float(at) for at in question_arrivals if at is not None
+                ]
+        empty = np.zeros(0, dtype=np.int64)
+        self.stream = stream_col
+        self.kind = kind if num_jobs else empty
+        self.index = index if num_jobs else empty
+        self.session = (
+            np.asarray(session_ids, dtype=np.int64)[stream_col] if num_jobs else empty
+        )
+        #: arrival times as a plain list (generation entries filled at run
+        #: time when their chain materializes)
+        self.arrival = arrival.tolist()
+
+        # preallocated record columns, filled by integer index in the
+        # engine's record order (== the reference loop's insertion order)
+        n = self.num_jobs
+        self.rec_job = [0] * n
+        self.rec_arrival = [0.0] * n
+        self.rec_start = [0.0] * n
+        self.rec_finish = [0.0] * n
+        self.rec_dropped = [False] * n
+        self.rec_admission = [0] * n
+        self.rec_pcie = [0.0] * n
+        self.rec_dre = [0.0] * n
+        self.rec_cwait = [0.0] * n
+        self.num_records = 0
+
+        #: compact timeline log: ``(job_id, resource code, start, duration)``
+        #: appended in the reference loop's ``Timeline.add`` order
+        self.timeline_log: list[tuple[int, int, float, float]] = []
+
+    # ------------------------------------------------------------------ #
+    def finalize(self, deadline_s: float | None) -> "RecordColumns":
+        """Freeze the record buffer into sorted :class:`RecordColumns`."""
+        m = self.num_records
+        job = np.asarray(self.rec_job[:m], dtype=np.int64)
+        arrival = np.asarray(self.rec_arrival[:m], dtype=float)
+        start = np.asarray(self.rec_start[:m], dtype=float)
+        finish = np.asarray(self.rec_finish[:m], dtype=float)
+        dropped = np.asarray(self.rec_dropped[:m], dtype=bool)
+        admission = np.asarray(self.rec_admission[:m], dtype=np.int64)
+        pcie = np.asarray(self.rec_pcie[:m], dtype=float)
+        dre = np.asarray(self.rec_dre[:m], dtype=float)
+        cwait = np.asarray(self.rec_cwait[:m], dtype=float)
+        stream = self.stream[job] if m else np.zeros(0, dtype=np.int64)
+        index = self.index[job] if m else np.zeros(0, dtype=np.int64)
+        # stable sort == the reference loop's sorted(records, key=...) over
+        # its insertion-ordered list
+        order = np.lexsort((index, stream, finish))
+        job = job[order]
+        return RecordColumns(
+            stream=self.stream[job] if m else stream,
+            session=self.session[job] if m else np.zeros(0, dtype=np.int64),
+            kind=self.kind[job] if m else np.zeros(0, dtype=np.int64),
+            index=self.index[job] if m else index,
+            arrival=arrival[order],
+            start=start[order],
+            finish=finish[order],
+            dropped=dropped[order],
+            admission=admission[order],
+            pcie_wait=pcie[order],
+            dre_wait=dre[order],
+            compute_wait=cwait[order],
+            deadline_s=deadline_s,
+        )
+
+    def build_timeline(self, timesliced: bool) -> Timeline:
+        """Materialize the compact log as a full :class:`Timeline`."""
+        timeline = Timeline()
+        add = timeline.add
+        stream = self.stream
+        session = self.session
+        kind = self.kind
+        index = self.index
+        for job, code, start, duration in self.timeline_log:
+            name = f"s{session[job]}/{KIND_NAMES[kind[job]]}{index[job]}"
+            if code == TL_VISION:
+                resource = f"vision:s{stream[job]}"
+            elif code == TL_COMPUTE:
+                resource = "compute" if timesliced else f"compute:s{stream[job]}"
+            elif code == TL_DRE:
+                resource = "dre"
+            else:
+                resource = "pcie"
+            add(name, resource, start, duration)
+        return timeline
+
+
+class RecordColumns:
+    """One run's job records as sorted parallel numpy columns."""
+
+    __slots__ = (
+        "stream",
+        "session",
+        "kind",
+        "index",
+        "arrival",
+        "start",
+        "finish",
+        "dropped",
+        "missed",
+        "admission",
+        "pcie_wait",
+        "dre_wait",
+        "compute_wait",
+    )
+
+    def __init__(
+        self,
+        *,
+        stream,
+        session,
+        kind,
+        index,
+        arrival,
+        start,
+        finish,
+        dropped,
+        admission,
+        pcie_wait,
+        dre_wait,
+        compute_wait,
+        deadline_s,
+    ):
+        self.stream = stream
+        self.session = session
+        self.kind = kind
+        self.index = index
+        self.arrival = arrival
+        self.start = start
+        self.finish = finish
+        self.dropped = dropped
+        self.admission = admission
+        self.pcie_wait = pcie_wait
+        self.dre_wait = dre_wait
+        self.compute_wait = compute_wait
+        if deadline_s is None:
+            self.missed = np.zeros(len(finish), dtype=bool)
+        else:
+            # the reference loop's per-record ``finish - arrival > deadline``
+            self.missed = ~dropped & ((finish - arrival) > deadline_s)
+
+    def __len__(self) -> int:
+        return len(self.finish)
+
+    def mask(self, stream_index: int | None = None, kind_code: int | None = None):
+        """Boolean selector over the records (dropped included)."""
+        selected = np.ones(len(self.finish), dtype=bool)
+        if stream_index is not None:
+            selected &= self.stream == stream_index
+        if kind_code is not None:
+            selected &= self.kind == kind_code
+        return selected
+
+    def sojourn_s(self):
+        """Per-record arrival-to-finish latency column."""
+        return self.finish - self.arrival

@@ -387,8 +387,9 @@ class TestGoldenRegression:
         },
     }
 
+    @pytest.mark.parametrize("engine", ["array", "reference"])
     @pytest.mark.parametrize("compute", ["private", "timesliced"])
-    def test_seeded_run_reproduces_exact_statistics(self, plane, edge, compute):
+    def test_seeded_run_reproduces_exact_statistics(self, plane, edge, compute, engine):
         system = edge["V-Rex8"]
         profiles = _fleet(list(self.KV_LENS))
         solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
@@ -404,6 +405,7 @@ class TestGoldenRegression:
                 compute=compute,
                 quantum_s=1e-3,
             ),
+            engine=engine,
         )
         result = scheduler.run(
             system,

@@ -216,7 +216,7 @@ class TestMemoryBoundGolden:
             )
         )
 
-    def _run(self, memory_plane, server, admission: str):
+    def _run(self, memory_plane, server, admission: str, engine: str = "array"):
         system = server["V-Rex48"]
         profiles = [
             StreamProfile(kv_len=40_000, session_id=index) for index in range(4)
@@ -228,13 +228,16 @@ class TestMemoryBoundGolden:
         config = SchedulerConfig(
             deadline_s=2.0 * solo, max_queue_depth=2, admission=admission
         )
-        return ServingScheduler(memory_plane, config).run(system, profiles, traces)
+        return ServingScheduler(memory_plane, config, engine=engine).run(
+            system, profiles, traces
+        )
 
+    @pytest.mark.parametrize("engine", ["array", "reference"])
     @pytest.mark.parametrize("admission", ["backlog", "residency"])
     def test_seeded_run_reproduces_exact_statistics(
-        self, memory_plane, server, admission
+        self, memory_plane, server, admission, engine
     ):
-        result = self._run(memory_plane, server, admission)
+        result = self._run(memory_plane, server, admission, engine)
         fleet = result.fleet_summary()
         expected = self.EXPECTED[admission]
         assert result.served == expected["served"]
