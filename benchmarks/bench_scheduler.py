@@ -1,6 +1,6 @@
 """Event-driven scheduler throughput, engine speedup and sweep cost.
 
-Measures four things and writes them to ``BENCH_scheduler.json``:
+Measures five things and writes them to ``BENCH_scheduler.json``:
 
 * **event rate** — scheduler events processed per second (and jobs/sec)
   while simulating Poisson-arrival fleets of 4/16/64/1024 streams on the
@@ -11,6 +11,10 @@ Measures four things and writes them to ``BENCH_scheduler.json``:
   row; the paired rows are the committed evidence of the array engine's
   speedup.  One untimed warmup run precedes timing so the array engine's
   per-scheduler caches (priced stages) don't skew the first repeat;
+* **sanitizer overhead** — the events/s cost of running the flagship
+  64-stream row with every ``REPRO_SANITIZE=1`` runtime invariant check
+  armed, under both engines; the committed factor documents that the
+  sanitizer is cheap enough for CI to run the whole tier-1 suite with it;
 * **resource micro-bench** — acquire/release cycles per second through a
   :class:`~repro.hw.event.ReleasableResource` (per-grant allocation, the
   reference loop's slot cost) vs push/pop cycles through the engine's
@@ -31,13 +35,18 @@ rows on the current machine, normalizes machine speed through the
 *reference* engine (whose events/s acts as the fixed calibration loop —
 its ratio to the committed reference row is the machine factor), and
 fails (exit 1) if the array engine's normalized events/s drops more than
-30% below the committed trajectory in ``BENCH_scheduler.json``.
+30% below the committed trajectory in ``BENCH_scheduler.json``.  The same
+check then guards the memory-bound rows of ``BENCH_memory.json`` (the
+4-bank sharded fleet under both admission policies, via
+``bench_memory.scheduler_event_rate``), so a regression on the sharded
+memory path fails CI even when the compute-bound rows hold.
 """
 
 from __future__ import annotations
 
 import gc
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -105,6 +114,50 @@ def scheduler_event_rate(
         "run_ms": best * 1e3,
         "fleet_p99_ms": result.fleet_summary().p99_ms,
     }
+
+
+def sanitizer_overhead(
+    num_streams: int = 64,
+    frames_per_stream: int = 40,
+    repeats: int = 3,
+) -> dict:
+    """Runtime cost of ``REPRO_SANITIZE=1`` on the flagship fleet row.
+
+    Runs the same (streams, frames) row under both engines with the
+    sanitizer off and then on — every component re-resolves the env var
+    when the scheduler is rebuilt — and reports the events/s ratio.  The
+    committed factor is the evidence that the invariant checks are cheap
+    enough to leave armed for a whole CI test job.
+    """
+    rows: dict[tuple[str, str], dict] = {}
+    previous = os.environ.get("REPRO_SANITIZE")
+    try:
+        for mode, value in (("plain", "0"), ("sanitized", "1")):
+            os.environ["REPRO_SANITIZE"] = value
+            for engine in ("reference", "array"):
+                rows[(mode, engine)] = scheduler_event_rate(
+                    num_streams, frames_per_stream, repeats, engine=engine
+                )
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SANITIZE"]
+        else:
+            os.environ["REPRO_SANITIZE"] = previous
+    result = {
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "repeats": repeats,
+    }
+    for engine in ("reference", "array"):
+        plain = rows[("plain", engine)]["events_per_s"]
+        sanitized = rows[("sanitized", engine)]["events_per_s"]
+        result[engine] = {
+            "plain_events_per_s": plain,
+            "sanitized_events_per_s": sanitized,
+            # >1 means the sanitized run is that many times slower
+            "overhead_factor": plain / sanitized,
+        }
+    return result
 
 
 def resource_queue_rate(ops: int) -> dict:
@@ -202,6 +255,17 @@ def run(smoke: bool = False) -> dict:
                 )
                 results["scheduler"].append(row)
                 _print_row(row)
+    results["sanitizer"] = sanitizer_overhead(
+        *((4, 12, 3) if smoke else (64, 40, 3))
+    )
+    for engine in ("reference", "array"):
+        row = results["sanitizer"][engine]
+        print(
+            f"sanitizer overhead [{engine}]: "
+            f"{row['plain_events_per_s']:,.0f} -> "
+            f"{row['sanitized_events_per_s']:,.0f} events/s "
+            f"({row['overhead_factor']:.2f}x)"
+        )
     results["resource"] = resource_queue_rate(20_000 if smoke else 200_000)
     print(
         "resource micro-bench: "
@@ -236,6 +300,9 @@ def run(smoke: bool = False) -> dict:
         # the round-robin slices must actually fire extra events
         assert timesliced[0]["events_per_run"] > private[0]["events_per_run"]
         assert results["resource"]["index_ring_cycles_per_s"] > 0
+        for engine in ("reference", "array"):
+            assert results["sanitizer"][engine]["overhead_factor"] > 0
+            assert results["sanitizer"][engine]["sanitized_events_per_s"] > 0
         assert results["sweep"]["rows"] > 0
         print("smoke ok")
     return results
@@ -248,7 +315,9 @@ def gate() -> int:
     the committed reference row's config on this machine gives the factor
     between this machine and the one that wrote the JSON.  The array
     engine must then deliver at least ``GATE_FLOOR_FRACTION`` of its
-    committed events/s times that factor.  Returns a process exit code.
+    committed events/s times that factor.  The memory-bound rows of
+    ``BENCH_memory.json`` are gated the same way (4-bank sharded fleet,
+    both admission policies).  Returns a process exit code.
     """
     committed_path = REPO_ROOT / "BENCH_scheduler.json"
     committed = json.loads(committed_path.read_text())["scheduler"]
@@ -280,6 +349,46 @@ def gate() -> int:
         failed |= not ok
         print(
             f"gate [{compute}]: array {measured_arr['events_per_s']:,.0f} events/s "
+            f"vs floor {floor:,.0f} (machine factor {machine:.2f}) "
+            f"-> {'ok' if ok else 'FAIL'}"
+        )
+    # memory-bound rows: same machine-normalized floor against the committed
+    # BENCH_memory.json trajectory, calibrated through the reference engine
+    # of the identical sharded config
+    import bench_memory
+
+    memory_committed = json.loads(
+        (REPO_ROOT / "BENCH_memory.json").read_text()
+    )["scheduler"]
+
+    def committed_memory_row(engine: str, admission: str, num_banks: int) -> dict:
+        for row in memory_committed:
+            if (
+                row.get("engine", "reference") == engine
+                and row["admission"] == admission
+                and row["num_banks"] == num_banks
+            ):
+                return row
+        raise KeyError(f"no committed memory row for {engine}/{admission}/{num_banks}")
+
+    for admission in ("backlog", "residency"):
+        base_ref = committed_memory_row("reference", admission, 4)
+        base_arr = committed_memory_row("array", admission, 4)
+        streams = base_ref["num_streams"]
+        frames = base_ref["frames_per_stream"]
+        measured_ref = bench_memory.scheduler_event_rate(
+            4, admission, streams, frames, repeats=1, engine="reference"
+        )
+        measured_arr = bench_memory.scheduler_event_rate(
+            4, admission, streams, frames, repeats=3, engine="array"
+        )
+        machine = measured_ref["events_per_s"] / base_ref["events_per_s"]
+        floor = base_arr["events_per_s"] * machine * GATE_FLOOR_FRACTION
+        ok = measured_arr["events_per_s"] >= floor
+        failed |= not ok
+        print(
+            f"gate [memory/{admission}]: array "
+            f"{measured_arr['events_per_s']:,.0f} events/s "
             f"vs floor {floor:,.0f} (machine factor {machine:.2f}) "
             f"-> {'ok' if ok else 'FAIL'}"
         )

@@ -130,7 +130,7 @@ def main(num_streams: int = 4) -> None:
         )
     )
     solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
-    for profile, offset in zip(profiles, staggered_arrivals(len(profiles), solo)):
+    for profile, offset in zip(profiles, staggered_arrivals(len(profiles), solo), strict=True):
         profile.arrival_offset_s = offset
     staggered = plane.frame_step(system, profiles)
     batched = plane.frame_step(system, profiles, contention=False)

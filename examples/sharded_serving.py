@@ -109,7 +109,7 @@ def main(num_streams: int = 6) -> None:
         system, profiles, traces
     )
     exact = all(
-        a.sojourn_s == b.sojourn_s for a, b in zip(plain.records, sharded.records)
+        a.sojourn_s == b.sojourn_s for a, b in zip(plain.records, sharded.records, strict=True)
     )
     print()
     print(

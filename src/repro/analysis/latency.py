@@ -11,7 +11,7 @@ stays independent of the sim package.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def latency_percentiles(
     if values.size == 0:
         return {f"p{q:g}": float("nan") for q in percentiles}
     points = np.percentile(values, list(percentiles))
-    return {f"p{q:g}": float(point) for q, point in zip(percentiles, points)}
+    return {f"p{q:g}": float(point) for q, point in zip(percentiles, points, strict=True)}
 
 
 def deadline_miss_rate(sojourn_times_s: Sequence[float], deadline_s: float) -> float:

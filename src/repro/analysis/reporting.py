@@ -7,7 +7,7 @@ dependency-free (no plotting libraries are assumed to be available).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 
 def format_table(headers: list[str], rows: Iterable[Iterable], title: str | None = None) -> str:

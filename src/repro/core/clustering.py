@@ -111,7 +111,9 @@ class HashClusterTable:
         k = self._num_clusters
         members: list[list[int]] = [[] for _ in range(k)]
         for token_id, cluster in zip(
-            self._token_ids[: self._num_tokens], self._assignments[: self._num_tokens]
+            self._token_ids[: self._num_tokens],
+            self._assignments[: self._num_tokens],
+            strict=True,
         ):
             members[cluster].append(int(token_id))
         return [

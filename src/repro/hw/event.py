@@ -48,10 +48,20 @@ from __future__ import annotations
 import heapq
 from bisect import insort
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
+
+from repro.devtools.sanitizer import (
+    EVENT_ORDER,
+    LANE_ORDER,
+    RESOURCE_BALANCE,
+    RING_DISCIPLINE,
+    EventTrace,
+    SanitizerError,
+    resolve as _resolve_sanitize,
+)
 
 #: Bit layout of the packed event subkey: ``priority`` (high bits) over
 #: ``key rank`` over ``seq`` — comparing two packed subkeys as integers is
@@ -122,11 +132,15 @@ class ResourceQueue:
     retention; ``busy_s`` requires it.
     """
 
-    def __init__(self, name: str = "resource", record: bool = True):
+    def __init__(
+        self, name: str = "resource", record: bool = True, sanitize: bool | None = None
+    ):
         self.name = name
         self.record = record
         self._free_at = 0.0
         self.served: list[QueuedService] = []
+        self._sanitize = _resolve_sanitize(sanitize)
+        self._last_arrival = float("-inf")
 
     @property
     def free_at_s(self) -> float:
@@ -137,11 +151,20 @@ class ResourceQueue:
         """Forget all served requests and free the server."""
         self._free_at = 0.0
         self.served = []
+        self._last_arrival = float("-inf")
 
     def enqueue(self, arrival_s: float, service_s: float) -> QueuedService:
         """Admit one request; returns its scheduled service interval."""
         if service_s < 0:
             raise ValueError("service_s must be non-negative")
+        if self._sanitize:
+            if arrival_s < self._last_arrival:
+                raise SanitizerError(
+                    RESOURCE_BALANCE,
+                    f"resource {self.name!r}: FCFS arrival order violated "
+                    f"({arrival_s} after {self._last_arrival})",
+                )
+            self._last_arrival = arrival_s
         if service_s == 0:
             request = QueuedService(arrival_s, arrival_s, 0.0)
             if self.record:
@@ -175,11 +198,13 @@ class EventLoop:
     fleet-determined order, never in list order).
     """
 
-    def __init__(self):
+    def __init__(self, sanitize: bool | None = None):
         self._heap: list[tuple[float, int, tuple, int, Callable[[], None]]] = []
         self._seq = 0
         self.now_s = 0.0
         self.events_processed = 0
+        self._sanitize = _resolve_sanitize(sanitize)
+        self._trace = EventTrace() if self._sanitize else None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -210,6 +235,15 @@ class EventLoop:
             if until_s is not None and self._heap[0][0] > until_s:
                 break
             time_s, _priority, _key, _seq, callback = heapq.heappop(self._heap)
+            if self._sanitize:
+                if time_s < self.now_s:
+                    raise SanitizerError(
+                        EVENT_ORDER,
+                        f"event loop popped time {time_s} after {self.now_s} "
+                        "(non-monotone pop order)",
+                        self._trace,
+                    )
+                self._trace.note((time_s, _priority, _key, _seq))
             self.now_s = time_s
             callback()
             fired += 1
@@ -254,12 +288,17 @@ class ReleasableResource:
     through the acquire callback).
     """
 
-    def __init__(self, name: str = "resource", record: bool = True):
+    def __init__(
+        self, name: str = "resource", record: bool = True, sanitize: bool | None = None
+    ):
         self.name = name
         self.record = record
         self._holder: ResourceGrant | None = None
         self._waiters: deque[tuple[float, Callable[[ResourceGrant], None]]] = deque()
         self.grants: list[ResourceGrant] = []
+        self._sanitize = _resolve_sanitize(sanitize)
+        self._acquires = 0
+        self._releases = 0
 
     @property
     def busy(self) -> bool:
@@ -272,6 +311,7 @@ class ReleasableResource:
 
     def acquire(self, time_s: float, callback: Callable[[ResourceGrant], None]) -> None:
         """Request the resource at ``time_s``; ``callback(grant)`` fires on grant."""
+        self._acquires += 1
         if self._holder is None:
             grant = ResourceGrant(arrival_s=time_s, start_s=time_s)
             self._holder = grant
@@ -287,6 +327,7 @@ class ReleasableResource:
             raise ValueError(f"resource {self.name!r} is not held")
         if time_s < self._holder.start_s:
             raise ValueError("cannot release a resource before its grant started")
+        self._releases += 1
         self._holder.release_s = time_s
         self._holder = None
         if self._waiters:
@@ -296,6 +337,37 @@ class ReleasableResource:
             if self.record:
                 self.grants.append(grant)
             callback(grant)
+
+    def assert_drained(self) -> None:
+        """Sanitizer check: every acquire was balanced by a release.
+
+        Raises :class:`~repro.devtools.sanitizer.SanitizerError` if the
+        resource is still held, waiters are still queued, or any retained
+        grant shows a negative wait or hold — a leaked or corrupted slot.
+        """
+        if self._holder is not None or self._waiters:
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"resource {self.name!r} not drained: "
+                f"holder={'yes' if self._holder else 'no'}, "
+                f"{len(self._waiters)} waiter(s), "
+                f"{self._acquires} acquire(s) vs {self._releases} release(s)",
+            )
+        if self._acquires != self._releases:
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"resource {self.name!r}: {self._acquires} acquire(s) vs "
+                f"{self._releases} release(s) with no holder or waiters",
+            )
+        for grant in self.grants:
+            if grant.wait_s < 0 or (
+                grant.release_s is not None and grant.hold_s < 0
+            ):
+                raise SanitizerError(
+                    RESOURCE_BALANCE,
+                    f"resource {self.name!r}: grant with negative wait/hold "
+                    f"({grant})",
+                )
 
 
 class PreemptiveJob:
@@ -364,6 +436,7 @@ class PreemptiveResource:
         name: str = "compute",
         quantum_s: float = 1e-3,
         priority: int = 0,
+        sanitize: bool | None = None,
     ):
         if quantum_s <= 0:
             raise ValueError(f"quantum_s must be positive, got {quantum_s}")
@@ -371,6 +444,7 @@ class PreemptiveResource:
         self.name = name
         self.quantum_s = float(quantum_s)
         self._priority = priority
+        self._sanitize = _resolve_sanitize(sanitize)
         self._ready: deque[PreemptiveJob] = deque()
         self._running: PreemptiveJob | None = None
         self.jobs: list[PreemptiveJob] = []
@@ -392,7 +466,7 @@ class PreemptiveResource:
             raise ValueError(f"work_s must be non-negative, got {work_s}")
         job = PreemptiveJob(key, self.loop.now_s, float(work_s), callback)
         self.jobs.append(job)
-        if job.work_s == 0.0:
+        if job.work_s == 0.0:  # simlint: exact — zero-work sentinel, no arithmetic behind it
             job.first_start_s = job.finish_s = self.loop.now_s
             if callback is not None:
                 callback(job)
@@ -423,6 +497,37 @@ class PreemptiveResource:
         """Largest completed-job slowdown (1.0 when nothing finished)."""
         slowdowns = [job.slowdown for job in self.jobs if job.done and job.work_s > 0]
         return max(slowdowns, default=1.0)
+
+    def assert_drained(self) -> None:
+        """Sanitizer check: all submitted work was served to completion.
+
+        Raises :class:`~repro.devtools.sanitizer.SanitizerError` if a job
+        is still running or ready, or a completed job's record is
+        inconsistent (``served != work`` exactly, or a non-causal
+        ``arrival <= first_start <= finish`` ordering).
+        """
+        if self._running is not None or self._ready:
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"preemptive resource {self.name!r} not drained: "
+                f"running={'yes' if self._running else 'no'}, "
+                f"{len(self._ready)} job(s) still ready",
+            )
+        for job in self.jobs:
+            # simlint: exact — _yield_slice assigns served_s = work_s at completion
+            if not job.done or job.served_s != job.work_s:
+                raise SanitizerError(
+                    RESOURCE_BALANCE,
+                    f"preemptive resource {self.name!r}: job {job.key!r} "
+                    f"served {job.served_s} of {job.work_s} work with empty queues",
+                )
+            if not (job.arrival_s <= job.first_start_s <= job.finish_s):
+                raise SanitizerError(
+                    RESOURCE_BALANCE,
+                    f"preemptive resource {self.name!r}: job {job.key!r} has "
+                    f"non-causal times (arrival={job.arrival_s}, "
+                    f"first_start={job.first_start_s}, finish={job.finish_s})",
+                )
 
     def _dispatch(self) -> None:
         job = self._ready.popleft()
@@ -494,9 +599,17 @@ class ArrayEventQueue:
         "_lane_payload",
         "_lane_pos",
         "popped",
+        "_sanitize",
+        "_trace",
+        "_last",
     )
 
-    def __init__(self, policy: str = "sorted", bucket_width_s: float = 1e-3):
+    def __init__(
+        self,
+        policy: str = "sorted",
+        bucket_width_s: float = 1e-3,
+        sanitize: bool | None = None,
+    ):
         if policy not in self.POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {self.POLICIES}")
         if bucket_width_s <= 0:
@@ -514,6 +627,9 @@ class ArrayEventQueue:
         self._lane_pos = 0
         #: events popped over the queue's lifetime
         self.popped = 0
+        self._sanitize = _resolve_sanitize(sanitize)
+        self._trace = EventTrace() if self._sanitize else None
+        self._last = (float("-inf"), -(1 << 62))
 
     def __len__(self) -> int:
         dynamic = (
@@ -627,11 +743,34 @@ class ArrayEventQueue:
             if dynamic is None or (lane_t, lane_sub) <= dynamic:
                 self._lane_pos = lane_pos + 1
                 self.popped += 1
+                if self._sanitize:
+                    self._check_order(lane_t, lane_sub, static=True)
                 return (lane_t, lane_sub, self._lane_payload[lane_pos])
         if dynamic is None:
             raise IndexError("pop from an empty ArrayEventQueue")
         self.popped += 1
-        return self._dynamic_pop()
+        entry = self._dynamic_pop()
+        if self._sanitize:
+            self._check_order(entry[0], entry[1], static=False)
+        return entry
+
+    def _check_order(self, time_s: float, sub: int, static: bool) -> None:
+        """Assert the merged pop stream is monotone in ``(time, subkey)``.
+
+        A static-lane pop out of order means the lane/dynamic merge broke
+        (``lane-order``); a dynamic pop out of order means the structure
+        itself violated the total order (``event-order``).
+        """
+        if (time_s, sub) < self._last:
+            lane = "static lane" if static else "dynamic structure"
+            raise SanitizerError(
+                LANE_ORDER if static else EVENT_ORDER,
+                f"ArrayEventQueue[{self.policy}] popped ({time_s}, {sub}) from "
+                f"the {lane} after {self._last} (non-monotone pop order)",
+                self._trace,
+            )
+        self._last = (time_s, sub)
+        self._trace.note((time_s, sub, "static" if static else "dynamic"))
 
 
 class IndexRing:
@@ -647,9 +786,9 @@ class IndexRing:
     invariant, exactly as they own not double-releasing a resource.
     """
 
-    __slots__ = ("_next", "_head", "_tail", "_depth")
+    __slots__ = ("_next", "_head", "_tail", "_depth", "_sanitize", "_queued")
 
-    def __init__(self, capacity: int, lanes: int = 1):
+    def __init__(self, capacity: int, lanes: int = 1, sanitize: bool | None = None):
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         if lanes < 1:
@@ -658,9 +797,30 @@ class IndexRing:
         self._head = [-1] * lanes
         self._tail = [-1] * lanes
         self._depth = [0] * lanes
+        self._sanitize = _resolve_sanitize(sanitize)
+        #: lane an index is queued on, or -1 (sanitized rings only)
+        self._queued = [-1] * capacity if self._sanitize else None
 
     def push(self, lane: int, index: int) -> None:
         """Append ``index`` at the tail of ``lane``."""
+        if self._sanitize:
+            if not 0 <= lane < len(self._head):
+                raise SanitizerError(
+                    RING_DISCIPLINE,
+                    f"IndexRing push to lane {lane} of {len(self._head)}",
+                )
+            if not 0 <= index < len(self._next):
+                raise SanitizerError(
+                    RING_DISCIPLINE,
+                    f"IndexRing push of index {index} with capacity {len(self._next)}",
+                )
+            if self._queued[index] >= 0:
+                raise SanitizerError(
+                    RING_DISCIPLINE,
+                    f"IndexRing double push: index {index} is still queued on "
+                    f"lane {self._queued[index]} (would corrupt the linked list)",
+                )
+            self._queued[index] = lane
         tail = self._tail[lane]
         if tail < 0:
             self._head[lane] = index
@@ -680,6 +840,8 @@ class IndexRing:
         if nxt < 0:
             self._tail[lane] = -1
         self._depth[lane] -= 1
+        if self._sanitize:
+            self._queued[index] = -1
         return index
 
     def depth(self, lane: int) -> int:

@@ -76,7 +76,7 @@ class PCIeLink:
     def transfer_time_s(self, num_bytes: float, efficiency: float | None = None) -> float:
         """Seconds to move ``num_bytes`` across the link."""
         occupancy = self.occupancy_s(num_bytes, efficiency)
-        if occupancy == 0.0:
+        if occupancy == 0.0:  # simlint: exact — zero-byte sentinel, returned literally above
             return 0.0
         return self.config.latency_us * 1e-6 + occupancy
 
@@ -98,8 +98,8 @@ class PCIeLinkQueue(ResourceQueue):
     the batched performance plane charges to aligned frame arrivals.
     """
 
-    def __init__(self, link: PCIeLink, record: bool = True):
-        super().__init__(name=link.config.name, record=record)
+    def __init__(self, link: PCIeLink, record: bool = True, sanitize: bool | None = None):
+        super().__init__(name=link.config.name, record=record, sanitize=sanitize)
         self.link = link
 
     def enqueue_transfer(

@@ -38,10 +38,13 @@ the existing contended and time-sliced results exactly.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Callable, Iterable
 
 import numpy as np
+
+from repro.devtools.sanitizer import SHARD_CONSERVATION, SanitizerError
+from repro.devtools.sanitizer import resolve as _resolve_sanitize
 
 
 @dataclass(frozen=True)
@@ -174,7 +177,12 @@ class ShardedKVHierarchy:
         Per-bank capacity; ``inf`` (the default) never demotes anything.
     """
 
-    def __init__(self, num_banks: int = 1, bank_budget_bytes: float = math.inf):
+    def __init__(
+        self,
+        num_banks: int = 1,
+        bank_budget_bytes: float = math.inf,
+        sanitize: bool | None = None,
+    ):
         if num_banks < 1:
             raise ValueError(f"num_banks must be at least 1, got {num_banks}")
         if not bank_budget_bytes > 0:
@@ -183,6 +191,9 @@ class ShardedKVHierarchy:
             )
         self.num_banks = int(num_banks)
         self.bank_budget_bytes = float(bank_budget_bytes)
+        self._sanitize = _resolve_sanitize(sanitize)
+        #: hot-byte snapshot at registration; the hot tier must never move
+        self._hot_at_register: dict[int, float] = {}
         self._shards: dict[int, _SessionShards] = {}
         self._occupancy = np.zeros(self.num_banks)
         self._clock = 0
@@ -232,6 +243,9 @@ class ShardedKVHierarchy:
         )
         self._last_used[session_id] = self._clock
         self._clock += 1
+        if self._sanitize:
+            self._hot_at_register[session_id] = float(hot_bytes)
+            self.sanity_check()
 
     @property
     def session_ids(self) -> list[int]:
@@ -388,6 +402,8 @@ class ShardedKVHierarchy:
             shard.warm_bytes[bank] += gain
             shard.invalidate()
             self._occupancy[bank] += gain
+        if self._sanitize and not dry_run:
+            self.sanity_check()
         return promoted
 
     def commit_fetch(
@@ -407,8 +423,79 @@ class ShardedKVHierarchy:
         return split
 
     # ------------------------------------------------------------------ #
+    # sanitizer
+    # ------------------------------------------------------------------ #
+    def sanity_check(self) -> None:
+        """Assert shard-byte conservation across every registered session.
+
+        Checks — run automatically after each mutation when sanitizing,
+        callable directly from tests:
+
+        * per-session warm bytes are non-negative and never exceed the
+          home distribution (warm + cold telescopes back to off-chip);
+        * the hot tier is byte-for-byte what registration installed —
+          eviction must never touch device DRAM;
+        * bank occupancy equals the per-session warm sums (to float
+          accumulation slack) and respects the bank budget.
+
+        Raises :class:`~repro.devtools.sanitizer.SanitizerError` with code
+        ``shard-conservation`` on the first violated invariant.
+        """
+        expected = np.zeros(self.num_banks)
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            warm = shard.warm_bytes
+            atol = 1e-6 + 1e-9 * shard.offchip_bytes
+            if (warm < 0).any():
+                raise SanitizerError(
+                    SHARD_CONSERVATION,
+                    f"session {sid}: negative warm bytes {warm.min()} "
+                    f"in bank {int(warm.argmin())}",
+                )
+            if (warm > shard.home_bytes + atol).any():
+                bank = int((warm - shard.home_bytes).argmax())
+                raise SanitizerError(
+                    SHARD_CONSERVATION,
+                    f"session {sid}: bank {bank} holds {warm[bank]} warm bytes, "
+                    f"more than its home share {shard.home_bytes[bank]}",
+                )
+            warm_total = float(warm.sum())
+            if warm_total > shard.offchip_bytes + atol:
+                raise SanitizerError(
+                    SHARD_CONSERVATION,
+                    f"session {sid}: warm bytes {warm_total} exceed off-chip "
+                    f"total {shard.offchip_bytes} (bytes created from nothing)",
+                )
+            hot_expected = self._hot_at_register.get(sid, shard.hot_bytes)
+            # simlint: exact — the hot tier must be byte-for-byte untouched
+            if shard.hot_bytes != hot_expected:
+                raise SanitizerError(
+                    SHARD_CONSERVATION,
+                    f"session {sid}: hot tier changed from {hot_expected} to "
+                    f"{shard.hot_bytes} bytes (hot shards must never be evicted)",
+                )
+            expected += warm
+        occ_atol = 1e-6 + 1e-9 * float(expected.max(initial=0.0))
+        if not np.allclose(self._occupancy, expected, rtol=1e-9, atol=occ_atol):
+            bank = int(np.abs(self._occupancy - expected).argmax())
+            raise SanitizerError(
+                SHARD_CONSERVATION,
+                f"bank {bank} occupancy {self._occupancy[bank]} disagrees with "
+                f"per-session warm sum {expected[bank]}",
+            )
+        if (self._occupancy > self.bank_budget_bytes + occ_atol).any():
+            bank = int(self._occupancy.argmax())
+            raise SanitizerError(
+                SHARD_CONSERVATION,
+                f"bank {bank} occupancy {self._occupancy[bank]} exceeds budget "
+                f"{self.bank_budget_bytes}",
+            )
+
+    # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def clone_empty(self) -> "ShardedKVHierarchy":
         """A fresh hierarchy with the same bank configuration, no sessions."""
-        return ShardedKVHierarchy(self.num_banks, self.bank_budget_bytes)
+        return ShardedKVHierarchy(
+            self.num_banks, self.bank_budget_bytes, sanitize=self._sanitize
+        )

@@ -59,7 +59,7 @@ class SSDModel:
         fetches lower it.
         """
         occupancy = self.read_occupancy_s(num_bytes, sequential_fraction)
-        if occupancy == 0.0 and num_bytes == 0:
+        if occupancy == 0.0 and num_bytes == 0:  # simlint: exact — zero-byte sentinel
             return 0.0
         return self.config.read_latency_us * 1e-6 + occupancy
 

@@ -20,8 +20,8 @@ what the performance plane consumes for batched latency estimates.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -155,7 +155,7 @@ class SessionBatch:
                 f"expected one frame slot per session ({len(self.sessions)}), got {len(frames)}"
             )
         outputs: list[np.ndarray | None] = []
-        for session, frame in zip(self.sessions, frames):
+        for session, frame in zip(self.sessions, frames, strict=True):
             if frame is None:
                 outputs.append(None)
             else:
@@ -190,14 +190,14 @@ class SessionBatch:
             )
         events: list[tuple[float, int, int]] = []
         frame_lists = [list(frames) for frames in streams]
-        for stream_index, (frames, times) in enumerate(zip(frame_lists, arrivals)):
+        for stream_index, (frames, times) in enumerate(zip(frame_lists, arrivals, strict=True)):
             times = [float(t) for t in times]
             if len(times) != len(frames):
                 raise ValueError(
                     f"stream {stream_index} has {len(frames)} frames but "
                     f"{len(times)} arrival times"
                 )
-            if any(later < earlier for earlier, later in zip(times, times[1:])):
+            if any(later < earlier for earlier, later in zip(times, times[1:], strict=False)):
                 raise ValueError(
                     f"arrival trace of stream {stream_index} must be nondecreasing"
                 )
@@ -246,7 +246,7 @@ class SessionBatch:
             )
         return [
             None if question is None else session.ask(question)
-            for session, question in zip(self.sessions, questions)
+            for session, question in zip(self.sessions, questions, strict=True)
         ]
 
     def generate_all(
@@ -271,7 +271,7 @@ class SessionBatch:
                 )
         return [
             None if count is None else session.generate(int(count))
-            for session, count in zip(self.sessions, counts)
+            for session, count in zip(self.sessions, counts, strict=True)
         ]
 
     # ------------------------------------------------------------------ #

@@ -24,7 +24,7 @@ class ToyTokenizer:
                 f"vocab_size must exceed the {len(_SPECIAL_TOKENS)} special tokens"
             )
         self.vocab_size = vocab_size
-        self.special_tokens = dict(zip(_SPECIAL_TOKENS, range(len(_SPECIAL_TOKENS))))
+        self.special_tokens = dict(zip(_SPECIAL_TOKENS, range(len(_SPECIAL_TOKENS)), strict=True))
         self._word_space = vocab_size - len(_SPECIAL_TOKENS)
         self._reverse: dict[int, str] = {}
 

@@ -60,8 +60,8 @@ its session's current residency.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -244,7 +244,7 @@ def profiles_from_reports(
             arrival_offset_s=offset,
             kv_len=None if kv_lens is None else int(kv_lens[index]),
         )
-        for index, (report, offset) in enumerate(zip(reports, arrival_offsets))
+        for index, (report, offset) in enumerate(zip(reports, arrival_offsets, strict=True))
     ]
 
 
@@ -1086,7 +1086,7 @@ class BatchLatencyModel:
         memory = self._memory_for(system, profiles)
         demands = [
             self._stream_demand(system, profile, q_len, stage, memory=memory)
-            for profile, q_len in zip(profiles, q_lens)
+            for profile, q_len in zip(profiles, q_lens, strict=True)
         ]
         oom = self._batched_oom(system, profiles)
         if contention and compute == "timesliced":

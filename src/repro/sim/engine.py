@@ -46,6 +46,16 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 
+import numpy as np
+
+from repro.devtools.sanitizer import (
+    EVENT_ORDER,
+    LANE_ORDER,
+    RESOURCE_BALANCE,
+    EventTrace,
+    SanitizerError,
+    sanitize_enabled,
+)
 from repro.hw.event import ArrayEventQueue, IndexRing, pack_subkey
 from repro.hw.memory.sharding import sharded_fetch_makespan
 from repro.sim.batched import PRIO_ARRIVAL, PRIO_COMPLETE, PRIO_ISSUE, PRIO_LINK
@@ -65,8 +75,6 @@ from repro.sim.scheduler import (
     ScheduleResult,
     _RunContext,
 )
-
-import numpy as np
 
 #: Event-type codes packed into the low payload bits (``payload >> 3`` is
 #: the job id, or the preemptive-sub-job id for ``C_SLICE``).
@@ -108,8 +116,15 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
     drop_late = cfg.drop_late
     residency = ctx.residency_admission
 
+    # sanitizer state: the engine inlines its queue/ring internals, so the
+    # order and lifecycle checks are inlined here too (one predictable
+    # branch per event when disabled)
+    sanitize = sanitize_enabled()
+    trace = EventTrace() if sanitize else None
+    san_last = (float("-inf"), -(1 << 62))
+
     session_ids = [profile.session_id for profile in profiles]
-    table = JobTable(traces, question_arrivals, answers, session_ids)
+    table = JobTable(traces, question_arrivals, answers, session_ids, sanitize=sanitize)
     num_jobs = table.num_jobs
     gen_base = table.gen_base
 
@@ -252,6 +267,20 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
     trajectory: list[tuple[float, tuple[float, ...]]] = []
     now = 0.0
     events = 0
+
+    def san_pop(t: float, sub: int, static: bool) -> None:
+        """Sanitizer: the merged pop stream must be monotone in (t, sub)."""
+        nonlocal san_last
+        if (t, sub) < san_last:
+            raise SanitizerError(
+                LANE_ORDER if static else EVENT_ORDER,
+                f"array engine popped ({t}, {sub}) from the "
+                f"{'static lane' if static else 'heap'} after {san_last} "
+                f"(non-monotone pop order)",
+                trace,
+            )
+        san_last = (t, sub)
+        trace.note((t, sub, "lane" if static else "heap"))
 
     noted_version = -1
 
@@ -397,9 +426,13 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
 
     def submit(job: int, t: float) -> None:
         nonlocal n_rec
+        if sanitize:
+            table.san_submit(job)
         s = streams[job]
         busy = slot_busy[s]
         if busy and max_depth is not None and ring_depth[s] >= max_depth:
+            if sanitize:
+                table.san_record(job)
             i = n_rec
             rec_job[i] = job
             rec_arrival[i] = t
@@ -412,6 +445,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
         if residency:
             decision = residency_decision(job, s)
             if decision == ADM_DEFER:
+                if sanitize:
+                    table.san_record(job)
                 i = n_rec
                 rec_job[i] = job
                 rec_arrival[i] = t
@@ -453,8 +488,12 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
 
     def begin(job: int, t: float) -> None:
         nonlocal seq, n_rec
+        if sanitize:
+            table.san_begin(job)
         j_start[job] = t
         if drop_late and t - arrival[job] > deadline:
+            if sanitize:
+                table.san_record(job)
             i = n_rec
             rec_job[i] = job
             rec_arrival[i] = arrival[job]
@@ -477,6 +516,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
 
     def finish(job: int, t: float) -> None:
         nonlocal n_rec
+        if sanitize:
+            table.san_record(job)
         i = n_rec
         rec_job[i] = job
         rec_arrival[i] = arrival[job]
@@ -515,15 +556,21 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                     heappop(entries)
                     now = next_t
                     payload = top[2]
+                    if sanitize:
+                        san_pop(next_t, top[1], False)
                 else:
                     now = this_t
                     events += 1
+                    if sanitize:
+                        san_pop(this_t, lane_sub[lane_i], True)
                     submit(lane_job[lane_i] >> 3, now)
                     lane_i += 1
                     continue
             else:
                 now = lane_t[lane_i]
                 events += 1
+                if sanitize:
+                    san_pop(now, lane_sub[lane_i], True)
                 submit(lane_job[lane_i] >> 3, now)
                 lane_i += 1
                 continue
@@ -531,6 +578,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
             top = heappop(entries)
             now = top[0]
             payload = top[2]
+            if sanitize:
+                san_pop(now, top[1], False)
         else:
             break
         events += 1
@@ -638,7 +687,7 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
         elif code == C_LINK:
             # private link grant: inline PCIeLinkQueue.enqueue + exposure
             fetch = j_fetch[job]
-            if fetch == 0.0:
+            if fetch == 0.0:  # simlint: exact — zero-byte sentinel, set literally
                 transfer_start = now
                 fetch_end = now
             else:
@@ -669,6 +718,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
 
         elif code == C_FINISH:
             # finish() inlined: the hottest branch, one event per completed job
+            if sanitize:
+                table.san_record(job)
             i = n_rec
             rec_job[i] = job
             rec_arrival[i] = arrival[job]
@@ -734,6 +785,25 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
             j_trs[job] = transfer_start
             j_chain[job] = fetch_end
             ts_maybe_finish(job, streams[job] * 3 + kinds[job])
+
+    if sanitize:
+        # end-of-run drain: no slot still held, no job still queued on a
+        # ring lane, no preemptive sub-job running or ready
+        if any(slot_busy) or any(d != 0 for d in ring_depth):
+            held = [s for s in range(num_streams) if slot_busy[s] or ring_depth[s]]
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"run ended with undrained stream slots {held} "
+                f"(acquires not balanced by releases)",
+                trace,
+            )
+        if timesliced and (ps_running >= 0 or ps_ring.depth(0) > 0):
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"run ended with the preemptive server undrained "
+                f"(running={ps_running}, ready={ps_ring.depth(0)})",
+                trace,
+            )
 
     queue._lane_pos = lane_i
     table.num_records = n_rec

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools.sanitizer import JOB_STATE, SanitizerError
+from repro.devtools.sanitizer import resolve as _resolve_sanitize
 from repro.hw.event import Timeline
 
 #: Integer job-kind codes; ``KIND_NAMES[code]`` is the public kind string
@@ -45,6 +47,10 @@ ADMISSION_NAMES = ("admit", "evict", "backlog", "defer")
 #: Timeline resource codes of the compact log.
 TL_VISION, TL_COMPUTE, TL_DRE, TL_PCIE = 0, 1, 2, 3
 
+#: Sanitizer job lifecycle states (``JobTable._job_state`` values).
+ST_PENDING, ST_SUBMITTED, ST_BEGUN, ST_RECORDED = 0, 1, 2, 3
+STATE_NAMES = ("pending", "submitted", "begun", "recorded")
+
 
 class JobTable:
     """Preallocated per-job columns of one scheduler run.
@@ -57,7 +63,8 @@ class JobTable:
     finishes; unrecorded ids simply never enter the record columns.
     """
 
-    def __init__(self, traces, question_arrivals, answers, session_ids):
+    def __init__(self, traces, question_arrivals, answers, session_ids, sanitize=None):
+        self._sanitize = _resolve_sanitize(sanitize)
         num_streams = len(session_ids)
         self.num_streams = num_streams
         # fully vectorized layout: per stream its frames, then its question,
@@ -135,6 +142,40 @@ class JobTable:
         #: appended in the reference loop's ``Timeline.add`` order
         self.timeline_log: list[tuple[int, int, float, float]] = []
 
+        #: sanitizer-only per-job lifecycle state (``ST_*`` codes)
+        self._job_state = bytearray(n) if self._sanitize else None
+
+    # ------------------------------------------------------------------ #
+    # sanitizer state machine
+    # ------------------------------------------------------------------ #
+    def _san_transition(self, job: int, to_state: int, legal_from: tuple) -> None:
+        if not 0 <= job < self.num_jobs:
+            raise SanitizerError(
+                JOB_STATE, f"job id {job} outside table of {self.num_jobs} jobs"
+            )
+        state = self._job_state[job]
+        if state not in legal_from:
+            raise SanitizerError(
+                JOB_STATE,
+                f"job {job} ({KIND_NAMES[self.kind[job]]} of stream "
+                f"{self.stream[job]}) moved {STATE_NAMES[state]} -> "
+                f"{STATE_NAMES[to_state]}; legal from "
+                f"{'/'.join(STATE_NAMES[s] for s in legal_from)} only",
+            )
+        self._job_state[job] = to_state
+
+    def san_submit(self, job: int) -> None:
+        """Sanitizer hook: ``job`` entered the system (pending -> submitted)."""
+        self._san_transition(job, ST_SUBMITTED, (ST_PENDING,))
+
+    def san_begin(self, job: int) -> None:
+        """Sanitizer hook: ``job`` started service (submitted -> begun)."""
+        self._san_transition(job, ST_BEGUN, (ST_SUBMITTED,))
+
+    def san_record(self, job: int) -> None:
+        """Sanitizer hook: ``job`` was recorded (begun, or submitted if dropped)."""
+        self._san_transition(job, ST_RECORDED, (ST_SUBMITTED, ST_BEGUN))
+
     # ------------------------------------------------------------------ #
     def finalize(self, deadline_s: float | None) -> "RecordColumns":
         """Freeze the record buffer into sorted :class:`RecordColumns`."""
@@ -150,6 +191,10 @@ class JobTable:
         cwait = np.asarray(self.rec_cwait[:m], dtype=float)
         stream = self.stream[job] if m else np.zeros(0, dtype=np.int64)
         index = self.index[job] if m else np.zeros(0, dtype=np.int64)
+        if self._sanitize and m:
+            self._san_check_columns(
+                job, arrival, start, finish, dropped, admission, pcie, dre, cwait
+            )
         # stable sort == the reference loop's sorted(records, key=...) over
         # its insertion-ordered list
         order = np.lexsort((index, stream, finish))
@@ -169,6 +214,56 @@ class JobTable:
             compute_wait=cwait[order],
             deadline_s=deadline_s,
         )
+
+    def _san_check_columns(
+        self, job, arrival, start, finish, dropped, admission, pcie, dre, cwait
+    ) -> None:
+        """Sanitizer pass over the filled record columns at finalize time.
+
+        Every record must describe a legal lifecycle: a valid, unique job
+        id; causal ``arrival <= start <= finish``; non-negative resource
+        waits (compute wait tolerates the tiny negative float residue of
+        ``finish - submit - work``); and backlog/defer admission outcomes
+        always marked dropped.
+        """
+        if (job < 0).any() or (job >= self.num_jobs).any():
+            bad = job[(job < 0) | (job >= self.num_jobs)][0]
+            raise SanitizerError(
+                JOB_STATE, f"recorded job id {bad} outside table of {self.num_jobs} jobs"
+            )
+        uniques, counts = np.unique(job, return_counts=True)
+        if (counts > 1).any():
+            dup = int(uniques[counts > 1][0])
+            raise SanitizerError(JOB_STATE, f"job {dup} recorded more than once")
+        live = ~dropped
+        if (start[live] < arrival[live]).any() or (finish[live] < start[live]).any():
+            bad = int(job[live][(start[live] < arrival[live]) | (finish[live] < start[live])][0])
+            raise SanitizerError(
+                JOB_STATE,
+                f"job {bad} has non-causal record times "
+                f"(arrival <= start <= finish violated)",
+            )
+        if (pcie < 0).any() or (dre < 0).any():
+            raise SanitizerError(
+                JOB_STATE, "negative pcie/dre wait recorded (acausal service)"
+            )
+        # compute wait is finish - submit - work; float non-associativity can
+        # leave a ~1 ulp negative residue, anything larger is a real bug
+        slack = 1e-9 * np.maximum(1.0, np.abs(finish))
+        if (cwait < -slack).any():
+            bad = int(job[cwait < -slack][0])
+            raise SanitizerError(
+                JOB_STATE, f"job {bad} has negative compute wait {cwait[cwait < -slack][0]}"
+            )
+        undropped_rejects = ((admission == ADM_BACKLOG) | (admission == ADM_DEFER)) & live
+        if undropped_rejects.any():
+            bad = int(job[undropped_rejects][0])
+            raise SanitizerError(
+                JOB_STATE,
+                f"job {bad} admitted as "
+                f"{ADMISSION_NAMES[int(admission[undropped_rejects.argmax()])]} "
+                f"but not marked dropped",
+            )
 
     def build_timeline(self, timesliced: bool) -> Timeline:
         """Materialize the compact log as a full :class:`Timeline`."""

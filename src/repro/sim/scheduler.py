@@ -42,8 +42,8 @@ misses), not a single makespan.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -57,16 +57,6 @@ from repro.hw.event import (
 )
 from repro.hw.memory.pcie import PCIeLinkQueue
 from repro.hw.memory.sharding import ShardedKVHierarchy, sharded_fetch_makespan
-from repro.sim.jobtable import (
-    ADM_DEFER,
-    ADM_EVICT,
-    ADMISSION_NAMES,
-    KIND_FRAME,
-    KIND_GENERATION,
-    KIND_NAMES,
-    KIND_QUESTION,
-    RecordColumns,
-)
 from repro.sim.batched import (
     DEFAULT_QUANTUM_S,
     PRIO_ARRIVAL,
@@ -81,6 +71,16 @@ from repro.sim.batched import (
     timesliced_issue,
     validate_compute_policy,
     validate_quantum,
+)
+from repro.sim.jobtable import (
+    ADM_DEFER,
+    ADM_EVICT,
+    ADMISSION_NAMES,
+    KIND_FRAME,
+    KIND_GENERATION,
+    KIND_NAMES,
+    KIND_QUESTION,
+    RecordColumns,
 )
 from repro.sim.pipeline import FRAME_STAGE, GENERATION_STAGE
 from repro.sim.systems import SystemConfig
@@ -866,7 +866,7 @@ class ServingScheduler:
             if cached is not None:
                 cached_system, cached_profiles, cached_priced = cached
                 if cached_system is system and all(
-                    a is b for a, b in zip(cached_profiles, profiles)
+                    a is b for a, b in zip(cached_profiles, profiles, strict=True)
                 ):
                     return cached_priced
 
@@ -1251,6 +1251,14 @@ class ServingScheduler:
                     key=key,
                 )
         loop.run()
+
+        if loop._sanitize:
+            # end-of-run drain: every slot acquire was released and the
+            # preemptive server served every submitted job to completion
+            for slot in slots:
+                slot.assert_drained()
+            if compute_server is not None:
+                compute_server.assert_drained()
 
         result = ScheduleResult(
             system=system.name,

@@ -10,8 +10,8 @@ quantities Table II of the paper compares across methods.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 

@@ -10,8 +10,8 @@ as raw RGB frames to exercise the vision tower + projector path.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 import numpy as np
 
@@ -134,7 +134,7 @@ def generate_raw_frames(
 def adjacent_frame_cosine(frames: list[np.ndarray]) -> np.ndarray:
     """Mean cosine similarity between corresponding tokens of adjacent frames."""
     similarities = []
-    for prev, curr in zip(frames[:-1], frames[1:]):
+    for prev, curr in zip(frames[:-1], frames[1:], strict=True):
         prev_n = prev / np.maximum(np.linalg.norm(prev, axis=-1, keepdims=True), 1e-12)
         curr_n = curr / np.maximum(np.linalg.norm(curr, axis=-1, keepdims=True), 1e-12)
         similarities.append(float(np.mean(np.sum(prev_n * curr_n, axis=-1))))

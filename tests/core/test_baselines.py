@@ -85,7 +85,7 @@ class TestFlexGenAndFull:
         queries = rng.normal(size=(4, 2, 8))
         a = FullRetriever().select(0, queries, cache)
         b = FlexGenRetriever().select(0, queries, cache)
-        for x, y in zip(a.per_kv_head_indices, b.per_kv_head_indices):
+        for x, y in zip(a.per_kv_head_indices, b.per_kv_head_indices, strict=True):
             np.testing.assert_array_equal(x, y)
 
 

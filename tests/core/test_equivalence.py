@@ -208,7 +208,7 @@ class TestTableEquivalence:
         rng = np.random.default_rng(11)
         encoder = HashBitEncoder(16, 16, seed=0)
         engine, reference = _run_both_tables(STREAMS["random"](rng), 16, 16, 5, encoder)
-        for engine_row, reference_row in zip(engine.clusters, reference.clusters):
+        for engine_row, reference_row in zip(engine.clusters, reference.clusters, strict=True):
             assert engine_row.token_indices == reference_row.token_indices
             np.testing.assert_allclose(engine_row.key_cluster, reference_row.key_cluster)
             np.testing.assert_array_equal(engine_row.hash_bits, reference_row.hash_bits)

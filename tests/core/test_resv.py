@@ -119,7 +119,7 @@ class TestReSVRetriever:
         queries = rng.normal(size=(4, 2, 8))
         sel_ref = reference.select(0, queries, cache)
         sel_fast = early.select(0, queries, cache)
-        for a, b in zip(sel_ref.per_kv_head_indices, sel_fast.per_kv_head_indices):
+        for a, b in zip(sel_ref.per_kv_head_indices, sel_fast.per_kv_head_indices, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_per_layer_state_is_independent(self, retriever, cache, rng):

@@ -128,7 +128,7 @@ class TestEarlyExit:
         ref = wicsum_select(scores, counts, ratio)
         fast = wicsum_select_early_exit(scores, counts, ratio, num_buckets=8)
         np.testing.assert_array_equal(ref.selected_clusters, fast.selected_clusters)
-        for ref_row, fast_row in zip(ref.per_row_selected, fast.per_row_selected):
+        for ref_row, fast_row in zip(ref.per_row_selected, fast.per_row_selected, strict=True):
             np.testing.assert_array_equal(ref_row, fast_row)
 
     @given(

@@ -1,0 +1,392 @@
+"""Fault-injection tests for the runtime simulation sanitizer.
+
+Each sanitizer check is demonstrated live: a component is corrupted the
+way a real bug would corrupt it (an event pushed into the past, a leaked
+resource, shard bytes created from nothing) and the sanitizer must raise
+:class:`~repro.devtools.sanitizer.SanitizerError` with the matching
+machine-readable code.  A final equivalence test pins that sanitized runs
+produce bit-identical results — the sanitizer observes, never perturbs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devtools.sanitizer import (
+    ENV_VAR,
+    EVENT_ORDER,
+    JOB_STATE,
+    LANE_ORDER,
+    RESOURCE_BALANCE,
+    RING_DISCIPLINE,
+    SHARD_CONSERVATION,
+    SanitizerError,
+    resolve,
+    sanitize_enabled,
+)
+from repro.hw.event import (
+    ArrayEventQueue,
+    EventLoop,
+    IndexRing,
+    PreemptiveResource,
+    ReleasableResource,
+    ResourceQueue,
+)
+from repro.hw.memory.sharding import ShardedKVHierarchy
+from repro.sim.jobtable import ADM_ADMIT, ADM_BACKLOG, JobTable
+
+
+GIB = 1024.0**3
+
+
+def expect(code: str):
+    return pytest.raises(SanitizerError, match=rf"\[{code}\]")
+
+
+class TestEnvGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not sanitize_enabled()
+        assert not resolve(None)
+        assert resolve(True)
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert sanitize_enabled()
+        assert resolve(None)
+        assert not resolve(False)
+
+    def test_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        assert not sanitize_enabled()
+
+    def test_unsanitized_components_skip_checks(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        queue = ResourceQueue("q")
+        queue.enqueue(1.0, 0.1)
+        queue.enqueue(0.5, 0.1)  # out-of-order arrival tolerated when off
+        ring = IndexRing(2, 1)
+        ring.push(0, 1)
+        ring.push(0, 1)  # silent double-push corruption tolerated when off
+
+
+class TestEventOrder:
+    def test_event_loop_detects_past_pop(self):
+        loop = EventLoop(sanitize=True)
+        loop.schedule(1.0, lambda: None)
+        # corrupt the heap the way a bad tie-break would: an entry whose
+        # time precedes the loop's clock once the first event has fired
+        loop._heap.append((0.25, 0, (), 99, lambda: None))
+        with expect(EVENT_ORDER):
+            loop.run()
+
+    def test_event_loop_error_carries_trace(self):
+        loop = EventLoop(sanitize=True)
+        loop.schedule(1.0, lambda: None)
+        loop._heap.append((0.5, 0, (), 99, lambda: None))
+        with pytest.raises(SanitizerError) as info:
+            loop.run()
+        assert info.value.code == EVENT_ORDER
+        assert info.value.trace  # the popped event preceding the violation
+        assert "trace tail" in str(info.value)
+
+    def test_array_queue_dynamic_order(self):
+        queue = ArrayEventQueue("heap", sanitize=True)
+        queue.push(1.0, 5)
+        queue.pop()
+        queue.push(0.5, 5)  # pushed into the past
+        with expect(EVENT_ORDER):
+            queue.pop()
+
+    def test_array_queue_clean_run_passes(self):
+        queue = ArrayEventQueue("sorted", sanitize=True)
+        queue.preload([0.5, 1.5], [1, 1], [0, 0])
+        queue.push(1.0, 2)
+        popped = [queue.pop()[0] for _ in range(3)]
+        assert popped == [0.5, 1.0, 1.5]
+
+
+class TestLaneOrder:
+    def test_corrupted_static_lane(self):
+        queue = ArrayEventQueue("heap", sanitize=True)
+        queue.preload([0.5, 1.0], [1, 1], [0, 0])
+        # corrupt the sorted lane in place (what a buggy preload would do)
+        queue._lane_t[0], queue._lane_t[1] = 2.0, 0.5
+        queue.pop()
+        with expect(LANE_ORDER):
+            queue.pop()
+
+
+class TestRingDiscipline:
+    def test_double_push_detected(self):
+        ring = IndexRing(4, 2, sanitize=True)
+        ring.push(0, 2)
+        with expect(RING_DISCIPLINE):
+            ring.push(1, 2)  # still queued on lane 0
+
+    def test_repush_after_pop_is_legal(self):
+        ring = IndexRing(4, 1, sanitize=True)
+        ring.push(0, 2)
+        assert ring.pop(0) == 2
+        ring.push(0, 2)  # round-robin requeue
+        assert ring.pop(0) == 2
+
+    def test_index_bounds(self):
+        ring = IndexRing(4, 1, sanitize=True)
+        with expect(RING_DISCIPLINE):
+            ring.push(0, 4)
+
+    def test_lane_bounds(self):
+        ring = IndexRing(4, 2, sanitize=True)
+        with expect(RING_DISCIPLINE):
+            ring.push(2, 0)
+
+
+class TestResourceBalance:
+    def test_leaked_releasable_resource(self):
+        slot = ReleasableResource("stream0", sanitize=True)
+        slot.acquire(0.0, lambda grant: None)
+        with expect(RESOURCE_BALANCE):
+            slot.assert_drained()
+
+    def test_balanced_resource_drains(self):
+        slot = ReleasableResource("stream0", sanitize=True)
+        slot.acquire(0.0, lambda grant: None)
+        slot.release(1.0)
+        slot.acquire(2.0, lambda grant: None)
+        slot.release(3.0)
+        slot.assert_drained()
+
+    def test_stranded_waiter_detected(self):
+        slot = ReleasableResource("stream0", sanitize=True)
+        slot.acquire(0.0, lambda grant: None)
+        slot.acquire(0.5, lambda grant: None)  # waits behind the holder
+        slot.release(1.0)  # grants the waiter, which never releases
+        with expect(RESOURCE_BALANCE):
+            slot.assert_drained()
+
+    def test_fcfs_arrival_order_enforced(self):
+        queue = ResourceQueue("dre", sanitize=True)
+        queue.enqueue(1.0, 0.1)
+        with expect(RESOURCE_BALANCE):
+            queue.enqueue(0.5, 0.1)
+
+    def test_preemptive_server_undrained(self):
+        loop = EventLoop(sanitize=True)
+        server = PreemptiveResource(loop, quantum_s=1e-3, sanitize=True)
+        server.submit(0.5)
+        with expect(RESOURCE_BALANCE):
+            server.assert_drained()  # loop never ran: job still in flight
+
+    def test_preemptive_server_drains_after_run(self):
+        loop = EventLoop(sanitize=True)
+        server = PreemptiveResource(loop, quantum_s=1e-3, sanitize=True)
+        server.submit(0.005)
+        server.submit(0.003)
+        loop.run()
+        server.assert_drained()
+
+    def test_preemptive_served_corruption_detected(self):
+        loop = EventLoop(sanitize=True)
+        server = PreemptiveResource(loop, quantum_s=1e-3, sanitize=True)
+        job = server.submit(0.005)
+        loop.run()
+        job.served_s = 0.004  # bookkeeping corrupted after the fact
+        with expect(RESOURCE_BALANCE):
+            server.assert_drained()
+
+
+def _table(frames=2, answers=1):
+    return JobTable(
+        traces=[[0.1 * i for i in range(frames)]],
+        question_arrivals=[0.5],
+        answers=[answers],
+        session_ids=[0],
+        sanitize=True,
+    )
+
+
+class TestJobState:
+    def test_legal_lifecycle(self):
+        table = _table()
+        table.san_submit(0)
+        table.san_begin(0)
+        table.san_record(0)
+
+    def test_drop_records_straight_from_submitted(self):
+        table = _table()
+        table.san_submit(0)
+        table.san_record(0)  # backlog/defer drop: never begun
+
+    def test_double_submit_detected(self):
+        table = _table()
+        table.san_submit(0)
+        with expect(JOB_STATE):
+            table.san_submit(0)
+
+    def test_begin_without_submit_detected(self):
+        table = _table()
+        with expect(JOB_STATE):
+            table.san_begin(0)
+
+    def test_record_of_recorded_job_detected(self):
+        table = _table()
+        table.san_submit(0)
+        table.san_record(0)
+        with expect(JOB_STATE):
+            table.san_record(0)
+
+    def test_out_of_range_job_detected(self):
+        table = _table()
+        with expect(JOB_STATE):
+            table.san_submit(table.num_jobs)
+
+    def _fill_one(self, table, job=0, **overrides):
+        values = dict(
+            arrival=0.0, start=0.1, finish=0.2, dropped=False,
+            admission=ADM_ADMIT, pcie=0.0, dre=0.0, cwait=0.0,
+        )
+        values.update(overrides)
+        i = table.num_records
+        table.rec_job[i] = job
+        table.rec_arrival[i] = values["arrival"]
+        table.rec_start[i] = values["start"]
+        table.rec_finish[i] = values["finish"]
+        table.rec_dropped[i] = values["dropped"]
+        table.rec_admission[i] = values["admission"]
+        table.rec_pcie[i] = values["pcie"]
+        table.rec_dre[i] = values["dre"]
+        table.rec_cwait[i] = values["cwait"]
+        table.num_records = i + 1
+
+    def test_finalize_accepts_legal_columns(self):
+        table = _table()
+        self._fill_one(table, job=0)
+        self._fill_one(table, job=1, arrival=0.1, start=0.2, finish=0.3)
+        table.finalize(None)
+
+    def test_duplicate_record_detected(self):
+        table = _table()
+        self._fill_one(table, job=0)
+        self._fill_one(table, job=0)
+        with expect(JOB_STATE):
+            table.finalize(None)
+
+    def test_non_causal_times_detected(self):
+        table = _table()
+        self._fill_one(table, job=0, start=0.2, finish=0.1)
+        with expect(JOB_STATE):
+            table.finalize(None)
+
+    def test_negative_wait_detected(self):
+        table = _table()
+        self._fill_one(table, job=0, pcie=-0.01)
+        with expect(JOB_STATE):
+            table.finalize(None)
+
+    def test_tiny_negative_compute_wait_tolerated(self):
+        # float non-associativity residue of finish - submit - work
+        table = _table()
+        self._fill_one(table, job=0, cwait=-1e-16)
+        table.finalize(None)
+
+    def test_large_negative_compute_wait_detected(self):
+        table = _table()
+        self._fill_one(table, job=0, cwait=-1e-3)
+        with expect(JOB_STATE):
+            table.finalize(None)
+
+    def test_undropped_backlog_detected(self):
+        table = _table()
+        self._fill_one(table, job=0, admission=ADM_BACKLOG, dropped=False)
+        with expect(JOB_STATE):
+            table.finalize(None)
+
+
+class TestShardConservation:
+    def test_clean_lifecycle_passes(self):
+        plane = ShardedKVHierarchy(num_banks=2, bank_budget_bytes=GIB, sanitize=True)
+        plane.register(0, offloaded_bytes=0.5 * GIB, hot_bytes=0.1 * GIB, num_clusters=8)
+        plane.register(1, offloaded_bytes=1.5 * GIB, num_clusters=8)
+        plane.register(2, offloaded_bytes=1.0 * GIB, num_clusters=8)
+        plane.commit_fetch(2)
+        plane.sanity_check()
+
+    def test_occupancy_corruption_detected(self):
+        plane = ShardedKVHierarchy(num_banks=2, bank_budget_bytes=GIB, sanitize=True)
+        plane.register(0, offloaded_bytes=0.5 * GIB, num_clusters=4)
+        plane._occupancy[0] += 1234.0  # bytes from nowhere
+        with expect(SHARD_CONSERVATION):
+            plane.sanity_check()
+
+    def test_hot_tier_eviction_detected(self):
+        plane = ShardedKVHierarchy(num_banks=1, sanitize=True)
+        plane.register(0, offloaded_bytes=GIB, hot_bytes=0.25 * GIB)
+        plane._shards[0].hot_bytes -= 1024.0  # hot shard "evicted"
+        with expect(SHARD_CONSERVATION):
+            plane.sanity_check()
+
+    def test_negative_warm_bytes_detected(self):
+        plane = ShardedKVHierarchy(num_banks=2, bank_budget_bytes=GIB, sanitize=True)
+        plane.register(0, offloaded_bytes=0.5 * GIB, num_clusters=4)
+        plane._shards[0].warm_bytes[1] = -1.0
+        plane._occupancy[1] = -1.0  # keep occupancy consistent: warm must trip first
+        with expect(SHARD_CONSERVATION):
+            plane.sanity_check()
+
+    def test_warm_exceeding_home_detected(self):
+        plane = ShardedKVHierarchy(num_banks=2, bank_budget_bytes=GIB, sanitize=True)
+        plane.register(0, offloaded_bytes=0.5 * GIB, num_clusters=4)
+        shard = plane._shards[0]
+        shard.warm_bytes[0] = shard.home_bytes[0] + GIB
+        plane._occupancy[0] += GIB
+        with expect(SHARD_CONSERVATION):
+            plane.sanity_check()
+
+    def test_register_checks_immediately(self, monkeypatch):
+        plane = ShardedKVHierarchy(num_banks=1, bank_budget_bytes=GIB, sanitize=True)
+        plane.register(0, offloaded_bytes=0.25 * GIB)
+        plane._occupancy[0] = 2 * GIB  # over budget before the next register
+        with expect(SHARD_CONSERVATION):
+            plane.register(1, offloaded_bytes=1024.0)
+
+
+class TestSanitizedRunEquivalence:
+    """REPRO_SANITIZE=1 must not change a single bit of any run."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.sim.arrivals import PoissonArrivals
+        from repro.sim.batched import BatchLatencyModel, StreamProfile
+        from repro.sim.systems import edge_systems
+        from repro.sim.workload import default_llm_workload
+
+        plane = BatchLatencyModel()
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+        profiles = [
+            StreamProfile(kv_len=10_000 + 4_000 * i, session_id=i) for i in range(4)
+        ]
+        traces = PoissonArrivals(rate_hz=6.0).generate(4, 6, seed=11)
+        return plane, system, profiles, traces
+
+    @pytest.mark.parametrize("engine", ["reference", "array"])
+    @pytest.mark.parametrize("compute", ["private", "timesliced"])
+    def test_sanitized_matches_unsanitized(self, setup, monkeypatch, engine, compute):
+        from repro.sim.scheduler import SchedulerConfig, ServingScheduler
+
+        plane, system, profiles, traces = setup
+        config = SchedulerConfig(compute=compute, quantum_s=1e-3, deadline_s=1.0)
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plain = ServingScheduler(plane, config, engine=engine).run(
+            system, profiles, traces, question_arrivals=[2.0] * 4, answer_tokens=2
+        )
+        monkeypatch.setenv(ENV_VAR, "1")
+        sanitized = ServingScheduler(plane, config, engine=engine).run(
+            system, profiles, traces, question_arrivals=[2.0] * 4, answer_tokens=2
+        )
+
+        assert sanitized.events_processed == plain.events_processed
+        assert sanitized.records == plain.records
+        assert sanitized.timeline.tasks == plain.timeline.tasks

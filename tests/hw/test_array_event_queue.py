@@ -181,7 +181,7 @@ class TestPolicyEquivalence:
         for policy in ArrayEventQueue.POLICIES:
             queue = ArrayEventQueue(policy, bucket_width_s=0.3)
             if static:
-                queue.preload(*(list(column) for column in zip(*static)))
+                queue.preload(*(list(column) for column in zip(*static, strict=True)))
             for time_s, sub, payload in dynamic:
                 queue.push(time_s, sub, payload)
             drains.append(_drain(queue))

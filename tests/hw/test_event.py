@@ -239,7 +239,7 @@ class TestPreemptiveResource:
             server = PreemptiveResource(loop, quantum_s=quantum_s)
             jobs = [server.submit(w, key=(i,)) for i, w in enumerate(works)]
             loop.run()
-            error = max(abs(j.finish_s - f) for j, f in zip(jobs, ideal))
+            error = max(abs(j.finish_s - f) for j, f in zip(jobs, ideal, strict=True))
             bound = len(works) * quantum_s
             assert error <= bound + 1e-12
             if previous_bound is not None:

@@ -190,7 +190,7 @@ class TestShardedFetchMakespan:
             hierarchy = ShardedKVHierarchy(num_banks=num_banks)
             hierarchy.register(0, total_bytes, num_clusters=num_clusters)
             times.append(kvmu.sharded_fetch_time_s(work, hierarchy.fetch_split(0)))
-        for wider, narrower in zip(times[1:], times):
+        for wider, narrower in zip(times[1:], times, strict=False):
             assert wider <= narrower * (1 + 1e-12)
 
     @given(
@@ -213,7 +213,7 @@ class TestShardedFetchMakespan:
             hierarchy = ShardedKVHierarchy(num_banks=num_banks)
             hierarchy.register(0, total_bytes, num_clusters=num_clusters)
             times.append(kvmu.sharded_fetch_time_s(work, hierarchy.fetch_split(0)))
-        for wider, narrower in zip(times[1:], times):
+        for wider, narrower in zip(times[1:], times, strict=False):
             assert wider <= narrower * (1 + 1e-12)
 
     @given(

@@ -5,12 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import ModelConfig, ReSVConfig
+from repro.config import ModelConfig, ReSVConfig, toy_vision_config
 from repro.core.resv import ReSVRetriever
 from repro.model.llm import StreamingVideoLLM
 from repro.model.streaming import FRAME_STAGE, GENERATION_STAGE, StreamingSession
 from repro.model.vision import MLPProjector, VisionTower
-from repro.config import toy_vision_config
 from repro.video.coin import CoinBenchmark, CoinBenchmarkConfig, CoinTask
 from repro.video.qa import (
     QA_ATTN_MIX,

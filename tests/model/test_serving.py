@@ -106,10 +106,10 @@ class TestSessionBatch:
             tiny_model, retriever=_resv_for(tiny_model_config), num_sessions=2
         )
         batched_out = []
-        for i, (frame, other_frame) in enumerate(zip(frames, other)):
+        for i, (frame, other_frame) in enumerate(zip(frames, other, strict=True)):
             outputs = batch.process_frames([frame, other_frame], frame_id=i)
             batched_out.append(outputs[0])
-        for expected, actual in zip(solo_out, batched_out):
+        for expected, actual in zip(solo_out, batched_out, strict=True):
             np.testing.assert_allclose(expected, actual)
 
     def test_round_robin_with_stalled_stream(self, tiny_model, tiny_model_config, rng):
@@ -239,7 +239,7 @@ class TestSessionBatch:
         )
         arrived.run_arrivals(streams, [[0.0, 0.1, 0.2], [1.0, 1.1, 1.2]])
 
-        for tick_report, arrival_report in zip(ticked.reports(), arrived.reports()):
+        for tick_report, arrival_report in zip(ticked.reports(), arrived.reports(), strict=True):
             assert tick_report == arrival_report
 
     def test_run_arrivals_validation(self, tiny_model, tiny_model_config, rng):

@@ -253,10 +253,10 @@ class TestTimeslicedBracket:
             for p in profiles
         ]
         coarse_slowdown = max(
-            row.total_s / lone for row, lone in zip(coarse.streams, solo)
+            row.total_s / lone for row, lone in zip(coarse.streams, solo, strict=True)
         )
         fine_slowdown = max(
-            row.total_s / lone for row, lone in zip(fine.streams, solo)
+            row.total_s / lone for row, lone in zip(fine.streams, solo, strict=True)
         )
         assert fine_slowdown <= coarse_slowdown + slack / min(solo)
 
@@ -344,12 +344,19 @@ class TestSchedulerPropertyBridge:
         from repro.sim.scheduler import SchedulerConfig, ServingScheduler
 
         system = EDGE[system_name]
+        num_frames = 4
         solo = PLANE.frame_step(system, profiles[:1]).streams[0].total_s
         traces = PoissonArrivals(
             rate_hz=rate_for_load(0.7, solo, len(profiles))
-        ).generate(len(profiles), 4, seed=seed)
+        ).generate(len(profiles), num_frames, seed=seed)
         private = ServingScheduler(PLANE).run(system, profiles, traces)
         timesliced = ServingScheduler(
             TIMESLICED, SchedulerConfig(compute="timesliced", quantum_s=QUANTUM_S)
         ).run(system, profiles, traces)
-        assert private.makespan_s <= timesliced.makespan_s * (1 + 1e-9) + 1e-15
+        # The aligned single-step bracket is exact, but across a trace the
+        # sliced run can finish an individual frame earlier, issuing that
+        # stream's next fetch sooner and overlapping better; each of the
+        # streams x frames compute legs can shift by at most one quantum
+        # round, so the ordering only holds up to that re-slicing slack.
+        slack = len(profiles) * num_frames * QUANTUM_S
+        assert private.makespan_s <= timesliced.makespan_s * (1 + 1e-9) + slack

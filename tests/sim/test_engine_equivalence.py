@@ -67,7 +67,7 @@ def assert_runs_identical(reference, array):
     ref_records = reference.records
     arr_records = array.records
     assert len(arr_records) == len(ref_records)
-    for ref_record, arr_record in zip(ref_records, arr_records):
+    for ref_record, arr_record in zip(ref_records, arr_records, strict=True):
         assert arr_record == ref_record
     assert array.timeline.tasks == reference.timeline.tasks
     assert array.bank_occupancy_trajectory == reference.bank_occupancy_trajectory
@@ -75,7 +75,7 @@ def assert_runs_identical(reference, array):
     ref_streams = reference.stream_summaries()
     arr_streams = array.stream_summaries()
     assert len(arr_streams) == len(ref_streams)
-    for ref_summary, arr_summary in zip(ref_streams, arr_streams):
+    for ref_summary, arr_summary in zip(ref_streams, arr_streams, strict=True):
         assert_summaries_equal(arr_summary, ref_summary)
     assert array.served == reference.served
     assert array.dropped == reference.dropped

@@ -49,7 +49,7 @@ def _fleet(kv_lens, offsets=None):
     offsets = offsets or [0.0] * len(kv_lens)
     return [
         StreamProfile(kv_len=kv, arrival_offset_s=offset, session_id=index)
-        for index, (kv, offset) in enumerate(zip(kv_lens, offsets))
+        for index, (kv, offset) in enumerate(zip(kv_lens, offsets, strict=True))
     ]
 
 
@@ -138,7 +138,7 @@ class TestEventDynamics:
         starts = [record.start_s for record in records]
         finishes = [record.finish_s for record in records]
         assert starts == sorted(starts)
-        for previous_finish, start in zip(finishes, starts[1:]):
+        for previous_finish, start in zip(finishes, starts[1:], strict=False):
             assert start == pytest.approx(previous_finish, rel=1e-12)
         # sojourns grow as the backlog builds
         sojourns = [record.sojourn_s for record in records]
@@ -163,7 +163,7 @@ class TestEventDynamics:
         first = scheduler.run(system, profiles, traces)
         second = scheduler.run(system, profiles, traces)
         assert len(first.records) == len(second.records)
-        for a, b in zip(first.records, second.records):
+        for a, b in zip(first.records, second.records, strict=True):
             assert a == b
 
     def test_schedule_independent_of_profile_list_order(self, scheduler, edge):
@@ -207,7 +207,7 @@ class TestEventDynamics:
         ) + 1e-12
         # the shared link never serves two transfers at once
         pcie_tasks = result.timeline.tasks_on("pcie")
-        for earlier, later in zip(pcie_tasks, pcie_tasks[1:]):
+        for earlier, later in zip(pcie_tasks, pcie_tasks[1:], strict=False):
             assert later.start_s >= earlier.end_s - 1e-12
 
 
@@ -229,7 +229,7 @@ class TestQuestionsAndGeneration:
         question = result.jobs(kind=QUESTION_JOB)[0]
         generations = result.jobs(kind=GENERATION_JOB)
         assert generations[0].arrival_s == pytest.approx(question.finish_s)
-        for previous, current in zip(generations, generations[1:]):
+        for previous, current in zip(generations, generations[1:], strict=False):
             assert current.arrival_s == pytest.approx(previous.finish_s)
             assert current.job_index == previous.job_index + 1
 
@@ -350,7 +350,7 @@ class TestTimeslicedCompute:
         first = scheduler.run(system, profiles, traces)
         second = scheduler.run(system, profiles, traces)
         assert len(first.records) == len(second.records)
-        for a, b in zip(first.records, second.records):
+        for a, b in zip(first.records, second.records, strict=True):
             assert a == b
 
 

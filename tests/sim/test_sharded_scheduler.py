@@ -87,7 +87,7 @@ class TestDegenerateBitForBit:
         sharded = degenerate_plane.frame_step(system, profiles, compute=compute)
         assert sharded.total_s == pytest.approx(plain.total_s, rel=REL_TOL)
         assert sharded.total_s == plain.total_s  # observed exact
-        for plain_row, sharded_row in zip(plain.streams, sharded.streams):
+        for plain_row, sharded_row in zip(plain.streams, sharded.streams, strict=True):
             assert sharded_row.total_s == plain_row.total_s
             assert sharded_row.breakdown == plain_row.breakdown
         assert sharded.bank_occupancy_bytes is not None
@@ -130,7 +130,7 @@ class TestDegenerateBitForBit:
             system, profiles, traces
         )
         assert len(plain.records) == len(sharded.records)
-        for plain_record, sharded_record in zip(plain.records, sharded.records):
+        for plain_record, sharded_record in zip(plain.records, sharded.records, strict=True):
             assert sharded_record.sojourn_s == pytest.approx(
                 plain_record.sojourn_s, rel=REL_TOL
             )
@@ -258,7 +258,7 @@ class TestMemoryBoundGolden:
         # per-bank occupancy trajectory, pinned point by point
         assert len(result.bank_occupancy_trajectory) == len(expected["trajectory"])
         for (time_s, occupancy), (exp_time, exp_occupancy) in zip(
-            result.bank_occupancy_trajectory, expected["trajectory"]
+            result.bank_occupancy_trajectory, expected["trajectory"], strict=True
         ):
             assert time_s == pytest.approx(exp_time, rel=1e-12, abs=1e-15)
             assert occupancy == pytest.approx(exp_occupancy, rel=1e-12)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import llama3_8b_config
+from repro.hw.specs import AGX_ORIN, VREX8
 from repro.sim.pipeline import LatencyModel
 from repro.sim.runner import ExperimentRunner
 from repro.sim.systems import (
@@ -22,7 +23,6 @@ from repro.sim.systems import (
     vrex_kv_budget_bytes,
 )
 from repro.sim.workload import TransformerWorkload, default_llm_workload, default_vision_workload
-from repro.hw.specs import AGX_ORIN, VREX8
 
 GiB = 1024**3
 
