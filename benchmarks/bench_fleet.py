@@ -1,0 +1,307 @@
+"""Fleet-plane throughput, routing cost and busy-time accounting.
+
+Measures four things and writes them to ``BENCH_fleet.json``:
+
+* **fleet event rate** — scheduler events processed per second while the
+  fleet plane serves a fixed Poisson session population across 1/2/4
+  devices under each routing policy, both engines.  The M=1 row is the
+  degenerate case the bit-exactness guarantee rides on: its event count
+  must equal a plain ``ServingScheduler`` run's, and the row is asserted
+  against it every time the benchmark runs;
+* **routing overhead** — the wall-clock share the router adds on top of
+  the per-device scheduler runs, isolated by timing the same population
+  through the M=1 delegate path (zero routing work) vs the multi-device
+  path;
+* **migration traffic** — shard bytes shipped when a fully homed
+  population rebalances under ``round_robin`` (load-blind: near-maximal
+  traffic) vs ``kv_residency`` (ships only what the backlog forces), the
+  committed evidence that residency routing conserves interconnect bytes;
+* **busy-poll micro-bench** — ``PreemptiveResource.busy_s()`` polls per
+  second at growing completed-job counts.  The poll is an O(1) accumulator
+  read (it used to rescan every job ever submitted); the committed
+  near-flat rates across a 100x job-count range are the evidence.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke]
+
+``--smoke`` runs a seconds-scale subset with sanity assertions and skips
+the JSON write; CI uses it to keep the fleet path exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.hw.event import EventLoop, PreemptiveResource  # noqa: E402
+from repro.hw.interconnect import PCIE5_SWITCH  # noqa: E402
+from repro.sim.arrivals import PoissonArrivals, rate_for_load  # noqa: E402
+from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
+from repro.sim.fleet import FleetConfig, FleetScheduler  # noqa: E402
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler  # noqa: E402
+from repro.sim.systems import edge_systems  # noqa: E402
+from repro.sim.workload import default_llm_workload  # noqa: E402
+
+
+def _workload(num_streams: int, frames_per_stream: int, kv_len: int, load: float):
+    system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    traces = PoissonArrivals(
+        rate_hz=rate_for_load(load, solo, num_streams)
+    ).generate(num_streams, frames_per_stream, seed=0)
+    config = SchedulerConfig(deadline_s=3.0 * solo, max_queue_depth=8)
+    return system, plane, profiles, traces, config
+
+
+def fleet_event_rate(
+    num_devices: int,
+    router: str,
+    num_streams: int,
+    frames_per_stream: int,
+    repeats: int,
+    kv_len: int = 40_000,
+    engine: str = "array",
+) -> dict:
+    """Events/sec of the fleet plane at one (devices, router) point."""
+    system, plane, profiles, traces, config = _workload(
+        num_streams, frames_per_stream, kv_len, load=1.2
+    )
+    fleet = FleetScheduler(
+        plane, config, FleetConfig(num_devices=num_devices, router=router), engine=engine
+    )
+    fleet.run(system, profiles, traces)  # untimed warmup (priced-stage caches)
+    gc.collect()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fleet.run(system, profiles, traces)
+        best = min(best, time.perf_counter() - start)
+    if num_devices == 1:
+        # the degenerate row IS a plain ServingScheduler run — hold it to that
+        single = ServingScheduler(plane, config, engine=engine).run(
+            system, profiles, traces
+        )
+        assert result.events_processed == single.events_processed
+        assert result.records == single.records
+    return {
+        "engine": engine,
+        "router": router,
+        "num_devices": num_devices,
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "repeats": repeats,
+        "events_per_run": result.events_processed,
+        "events_per_s": result.events_processed / best,
+        "run_ms": best * 1e3,
+        "fleet_p99_ms": result.fleet_summary().p99_ms,
+        "migrations": result.migration_count,
+    }
+
+
+def routing_overhead(
+    num_streams: int, frames_per_stream: int, repeats: int
+) -> dict:
+    """Router cost: M=1 delegate vs 4-device run over the same sessions.
+
+    The multi-device run does strictly less scheduler work per device but
+    adds placement, estimation and record merging; the committed ratio
+    bounds what the fleet wrapper itself costs.
+    """
+    system, plane, profiles, traces, config = _workload(
+        num_streams, frames_per_stream, kv_len=40_000, load=1.2
+    )
+    timings = {}
+    for num_devices in (1, 4):
+        fleet = FleetScheduler(
+            plane, config, FleetConfig(num_devices=num_devices, router="least_loaded")
+        )
+        fleet.run(system, profiles, traces)
+        gc.collect()
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fleet.run(system, profiles, traces)
+            result.records  # noqa: B018 — force the merge the caller would pay for
+            best = min(best, time.perf_counter() - start)
+        timings[num_devices] = best
+    return {
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "repeats": repeats,
+        "single_device_ms": timings[1] * 1e3,
+        "four_device_ms": timings[4] * 1e3,
+        "four_vs_one_ratio": timings[4] / timings[1],
+    }
+
+
+def migration_traffic(num_streams: int, frames_per_stream: int) -> dict:
+    """Shard bytes shipped rebalancing a homed population, by router."""
+    system, plane, profiles, traces, config = _workload(
+        num_streams, frames_per_stream, kv_len=40_000, load=1.2
+    )
+    homes = {profile.session_id: 0 for profile in profiles}
+    rows = {}
+    for router in ("round_robin", "kv_residency"):
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(num_devices=4, router=router, interconnect=PCIE5_SWITCH),
+        )
+        result = fleet.run(system, profiles, traces, home_devices=homes)
+        rows[router] = {
+            "migrations": result.migration_count,
+            "interconnect_bytes": result.interconnect_bytes,
+            "interconnect_busy_s": result.interconnect.busy_s(),
+            "fleet_p99_ms": result.fleet_summary().p99_ms,
+        }
+    return {
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "round_robin": rows["round_robin"],
+        "kv_residency": rows["kv_residency"],
+    }
+
+
+def busy_poll_rate(job_counts=(100, 1_000, 10_000), polls: int = 200_000) -> dict:
+    """``busy_s()`` polls/sec after N completed jobs — flat if O(1).
+
+    Before the accumulator fix the poll rescanned every job ever
+    submitted, so 100x more jobs meant ~100x slower polls; now the rates
+    stay within noise of each other across the whole range.
+    """
+    rows = []
+    for jobs in job_counts:
+        loop = EventLoop()
+        server = PreemptiveResource(loop, "bench", quantum_s=1e-3, record=False)
+        for index in range(jobs):
+            loop.schedule(
+                float(index) * 1e-6,
+                lambda index=index: server.submit(5e-4, key=(index, 0)),
+            )
+        loop.run()
+        gc.collect()
+        start = time.perf_counter()
+        for _ in range(polls):
+            server.busy_s()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "completed_jobs": jobs,
+                "polls": polls,
+                "polls_per_s": polls / elapsed,
+                "busy_s": server.busy_s(),
+            }
+        )
+    slowest = min(row["polls_per_s"] for row in rows)
+    fastest = max(row["polls_per_s"] for row in rows)
+    return {
+        "rows": rows,
+        # O(n) rescans would put this near the job-count ratio (100x);
+        # the committed value sits near 1
+        "max_over_min_ratio": fastest / slowest,
+    }
+
+
+def _print_row(row: dict) -> None:
+    print(
+        f"fleet {row['num_devices']}x[{row['router']}/{row['engine']}]: "
+        f"{row['events_per_s']:,.0f} events/s "
+        f"({row['run_ms']:.1f} ms/run, {row['events_per_run']} events, "
+        f"p99 {row['fleet_p99_ms']:.0f} ms)"
+    )
+
+
+def run(smoke: bool = False) -> dict:
+    if smoke:
+        points = [(1, "round_robin", 2), (2, "round_robin", 2), (4, "kv_residency", 2)]
+        streams, frames = 6, 8
+    else:
+        points = [
+            (num_devices, router, 5)
+            for num_devices in (1, 2, 4)
+            for router in ("round_robin", "least_loaded", "power_of_two", "kv_residency")
+        ]
+        streams, frames = 16, 20
+    results: dict = {"fleet": []}
+    for engine in ("reference", "array"):
+        for num_devices, router, repeats in points:
+            row = fleet_event_rate(
+                num_devices, router, streams, frames, repeats, engine=engine
+            )
+            results["fleet"].append(row)
+            _print_row(row)
+    results["routing"] = routing_overhead(
+        streams, frames, repeats=2 if smoke else 5
+    )
+    print(
+        f"routing overhead: 1 device {results['routing']['single_device_ms']:.1f} ms, "
+        f"4 devices {results['routing']['four_device_ms']:.1f} ms "
+        f"({results['routing']['four_vs_one_ratio']:.2f}x)"
+    )
+    results["migration"] = migration_traffic(streams, frames)
+    print(
+        f"migration traffic: round_robin "
+        f"{results['migration']['round_robin']['interconnect_bytes'] / 1e9:.1f} GB, "
+        f"kv_residency "
+        f"{results['migration']['kv_residency']['interconnect_bytes'] / 1e9:.1f} GB"
+    )
+    results["busy_poll"] = busy_poll_rate(
+        job_counts=(100, 1_000) if smoke else (100, 1_000, 10_000),
+        polls=20_000 if smoke else 200_000,
+    )
+    for row in results["busy_poll"]["rows"]:
+        print(
+            f"busy_s poll @ {row['completed_jobs']} jobs: "
+            f"{row['polls_per_s']:,.0f} polls/s"
+        )
+    print(
+        f"busy_s poll spread: {results['busy_poll']['max_over_min_ratio']:.2f}x "
+        f"across job counts"
+    )
+    if smoke:
+        rows = results["fleet"]
+        assert all(row["events_per_s"] > 0 for row in rows)
+        assert all(row["events_per_run"] > 0 for row in rows)
+        assert {row["engine"] for row in rows} == {"array", "reference"}
+        # both engines simulate the identical fleet: same events, same p99
+        by_config = {}
+        for row in rows:
+            by_config.setdefault((row["num_devices"], row["router"]), []).append(row)
+        for pair in by_config.values():
+            assert len(pair) == 2
+            assert pair[0]["events_per_run"] == pair[1]["events_per_run"]
+            assert pair[0]["fleet_p99_ms"] == pair[1]["fleet_p99_ms"]
+        migration = results["migration"]
+        assert (
+            migration["kv_residency"]["interconnect_bytes"]
+            <= migration["round_robin"]["interconnect_bytes"]
+        )
+        assert results["routing"]["four_vs_one_ratio"] > 0
+        # an O(n) rescan would scale the poll cost with the job count
+        assert results["busy_poll"]["max_over_min_ratio"] < 10.0
+        print("smoke ok")
+    return results
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    results = run(smoke=smoke)
+    if not smoke:
+        output = REPO_ROOT / "BENCH_fleet.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

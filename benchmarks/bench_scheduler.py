@@ -392,6 +392,42 @@ def gate() -> int:
             f"vs floor {floor:,.0f} (machine factor {machine:.2f}) "
             f"-> {'ok' if ok else 'FAIL'}"
         )
+    # fleet M=1 row: the degenerate single-device fleet is a plain scheduler
+    # run plus the router wrapper, so a slump here that the scheduler rows
+    # don't show means the fleet plane itself regressed
+    import bench_fleet
+
+    fleet_committed = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())["fleet"]
+
+    def committed_fleet_row(engine: str) -> dict:
+        for row in fleet_committed:
+            if (
+                row["engine"] == engine
+                and row["num_devices"] == 1
+                and row["router"] == "round_robin"
+            ):
+                return row
+        raise KeyError(f"no committed fleet row for {engine}/1/round_robin")
+
+    base_ref = committed_fleet_row("reference")
+    base_arr = committed_fleet_row("array")
+    streams = base_ref["num_streams"]
+    frames = base_ref["frames_per_stream"]
+    measured_ref = bench_fleet.fleet_event_rate(
+        1, "round_robin", streams, frames, repeats=1, engine="reference"
+    )
+    measured_arr = bench_fleet.fleet_event_rate(
+        1, "round_robin", streams, frames, repeats=3, engine="array"
+    )
+    machine = measured_ref["events_per_s"] / base_ref["events_per_s"]
+    floor = base_arr["events_per_s"] * machine * GATE_FLOOR_FRACTION
+    ok = measured_arr["events_per_s"] >= floor
+    failed |= not ok
+    print(
+        f"gate [fleet/M=1]: array {measured_arr['events_per_s']:,.0f} events/s "
+        f"vs floor {floor:,.0f} (machine factor {machine:.2f}) "
+        f"-> {'ok' if ok else 'FAIL'}"
+    )
     if failed:
         print("gate FAILED: array-engine events/s fell >30% below trajectory")
         return 1

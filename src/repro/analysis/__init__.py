@@ -5,6 +5,12 @@ from repro.analysis.breakdown import (
     retrieval_overhead_fractions,
     scenario_breakdowns,
 )
+from repro.analysis.fleet import (
+    fleet_rollup,
+    format_device_table,
+    format_fleet_table,
+    per_device_rows,
+)
 from repro.analysis.latency import (
     deadline_miss_rate,
     format_bank_occupancy_table,
@@ -36,8 +42,11 @@ __all__ = [
     "batch_summary",
     "deadline_miss_rate",
     "efficiency_gain",
+    "fleet_rollup",
     "format_bank_occupancy_table",
     "format_breakdown",
+    "format_device_table",
+    "format_fleet_table",
     "format_latency_summary_table",
     "format_schedule_record_table",
     "format_series",
@@ -49,6 +58,7 @@ __all__ = [
     "is_real_time",
     "latency_percentiles",
     "pearson_correlation",
+    "per_device_rows",
     "retrieval_overhead_fractions",
     "retrieval_ratio_spread",
     "scenario_breakdowns",

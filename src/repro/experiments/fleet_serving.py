@@ -1,0 +1,272 @@
+"""Fleet-serving sweep — tail latency vs device count under load.
+
+The ROADMAP's multi-device unlock: instead of one accelerator absorbing
+the whole session population (:mod:`repro.experiments.scheduled_serving`),
+this driver runs the fleet plane (:class:`repro.sim.fleet.FleetScheduler`)
+over the same arrival traces at every device count and reports what a
+serving operator sizing a deployment actually wants:
+
+* **p99 vs device count** — how far the tail collapses as sessions spread
+  over 1, 2, 4, ... devices at a *fixed* total offered load (the sweep
+  holds the session population and its traces constant, so every fleet
+  size serves identical work);
+* **router policy** — each fleet size runs under every routing policy, so
+  the rows separate what extra devices buy from what smarter placement
+  buys;
+* **migration pricing** — a second sweep homes every session on device 0
+  and re-runs under a finite-bandwidth interconnect, pricing what
+  rebalancing a loaded device actually costs in shipped shard bytes and
+  delayed frames.
+
+The M=1 rows are bit-identical to a plain
+:class:`~repro.sim.scheduler.ServingScheduler` run (the fleet guarantee),
+so the single-device column doubles as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.fleet import fleet_rollup
+from repro.analysis.reporting import format_table
+from repro.hw.interconnect import PCIE5_SWITCH, InterconnectSpec
+from repro.sim.arrivals import PoissonArrivals, rate_for_load
+from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.fleet import ROUTER_POLICIES, FleetConfig, FleetScheduler
+from repro.sim.scheduler import SchedulerConfig
+from repro.sim.systems import SystemConfig, edge_systems
+from repro.sim.workload import default_llm_workload
+
+DEFAULT_DEVICE_COUNTS = (1, 2, 4)
+DEFAULT_LOAD_FACTORS = (0.7, 1.2)
+
+
+@dataclass
+class FleetServingResult:
+    """Device-count × load × router sweep for one system."""
+
+    system: str
+    kv_len: int
+    num_streams: int
+    frames_per_stream: int
+    solo_latency_s: float
+    deadline_s: float
+    interconnect: str
+    #: one row per (load, num_devices, router): fleet_rollup dict + keys
+    #: ``load`` and (migration sweep only) ``homed``.
+    rows: list[dict] = field(default_factory=list)
+
+    def row(self, load: float, num_devices: int, router: str) -> dict:
+        for row in self.rows:
+            if (
+                row["load"] == load
+                and row["num_devices"] == num_devices
+                and row["router"] == router
+            ):
+                return row
+        raise KeyError(f"no row for load {load}, {num_devices} device(s), {router!r}")
+
+    def tail_collapse(self, load: float, router: str = "round_robin") -> float:
+        """p99(M=1) / p99(max M) at one load — what the fleet buys."""
+        counts = sorted({row["num_devices"] for row in self.rows})
+        single = self.row(load, counts[0], router)["p99"]
+        widest = self.row(load, counts[-1], router)["p99"]
+        if widest <= 0:
+            return 1.0
+        return single / widest
+
+
+def run(
+    system: SystemConfig | None = None,
+    kv_len: int = 40_000,
+    num_streams: int = 12,
+    frames_per_stream: int = 10,
+    device_counts=DEFAULT_DEVICE_COUNTS,
+    load_factors=DEFAULT_LOAD_FACTORS,
+    routers=ROUTER_POLICIES,
+    interconnect: InterconnectSpec = PCIE5_SWITCH,
+    deadline_multiple: float = 3.0,
+    max_queue_depth: int | None = 6,
+    seed: int = 0,
+) -> FleetServingResult:
+    """Sweep device count × load × router at a fixed session population.
+
+    Offered load is quoted against a *single* device (``load=1.2`` means
+    one device would be 20% oversubscribed), so growing the fleet at a
+    fixed load shows the tail collapsing toward the solo latency floor.
+    """
+    if system is None:
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    deadline = deadline_multiple * solo
+    config = SchedulerConfig(deadline_s=deadline, max_queue_depth=max_queue_depth)
+    result = FleetServingResult(
+        system=system.name,
+        kv_len=kv_len,
+        num_streams=num_streams,
+        frames_per_stream=frames_per_stream,
+        solo_latency_s=solo,
+        deadline_s=deadline,
+        interconnect=interconnect.name,
+    )
+    for load in load_factors:
+        rate = rate_for_load(load, solo, num_streams)
+        traces = PoissonArrivals(rate_hz=rate).generate(
+            num_streams, frames_per_stream, seed=seed
+        )
+        for num_devices in device_counts:
+            for router in routers:
+                fleet = FleetScheduler(
+                    plane,
+                    config,
+                    FleetConfig(
+                        num_devices=num_devices,
+                        router=router,
+                        interconnect=interconnect,
+                        seed=seed,
+                    ),
+                )
+                row = fleet_rollup(fleet.run(system, profiles, traces))
+                row["load"] = load
+                result.rows.append(row)
+    return result
+
+
+def run_migration_sweep(
+    system: SystemConfig | None = None,
+    kv_len: int = 40_000,
+    num_streams: int = 12,
+    frames_per_stream: int = 10,
+    num_devices: int = 4,
+    load: float = 1.2,
+    interconnect: InterconnectSpec = PCIE5_SWITCH,
+    deadline_multiple: float = 3.0,
+    max_queue_depth: int | None = 6,
+    seed: int = 0,
+) -> FleetServingResult:
+    """Price rebalancing a fleet whose sessions all live on device 0.
+
+    Every session is *homed* on device 0 (its shards are resident there);
+    each router then decides who stays and who ships.  The load-blind
+    routers migrate almost everyone (maximum traffic); ``kv_residency``
+    runs at several patience levels (``migrate_backlog_s`` in units of the
+    per-session work estimate), from infinite patience — zero bytes
+    shipped, the whole population stuck queueing on device 0 — down to
+    hair-trigger rebalancing.  The rows price that spectrum in shipped
+    shard bytes against tail latency.
+    """
+    if system is None:
+        system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=kv_len, session_id=index) for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    deadline = deadline_multiple * solo
+    config = SchedulerConfig(deadline_s=deadline, max_queue_depth=max_queue_depth)
+    rate = rate_for_load(load, solo, num_streams)
+    traces = PoissonArrivals(rate_hz=rate).generate(
+        num_streams, frames_per_stream, seed=seed
+    )
+    homes = {profile.session_id: 0 for profile in profiles}
+    result = FleetServingResult(
+        system=system.name,
+        kv_len=kv_len,
+        num_streams=num_streams,
+        frames_per_stream=frames_per_stream,
+        solo_latency_s=solo,
+        deadline_s=deadline,
+        interconnect=interconnect.name,
+    )
+    session_work = solo * (frames_per_stream + 1)
+    points: list[tuple[str, float]] = [
+        (router, float("inf")) for router in ROUTER_POLICIES if router != "kv_residency"
+    ]
+    points += [("kv_residency", patience) for patience in (float("inf"), 4.0, 1.0)]
+    for router, patience in points:
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(
+                num_devices=num_devices,
+                router=router,
+                interconnect=interconnect,
+                seed=seed,
+                migrate_backlog_s=patience * session_work,
+            ),
+        )
+        row = fleet_rollup(fleet.run(system, profiles, traces, home_devices=homes))
+        row["load"] = load
+        row["homed"] = True
+        row["patience"] = patience
+        result.rows.append(row)
+    return result
+
+
+def main() -> dict[str, FleetServingResult]:
+    """Print the device-count sweep and the migration-pricing sweep."""
+    scaling = run()
+    rows = [
+        [
+            row["load"],
+            int(row["num_devices"]),
+            row["router"],
+            f"{row['p50']:.2f}",
+            f"{row['p99']:.2f}",
+            f"{100.0 * row['deadline_miss_rate']:.1f}",
+            int(row["migrations"]),
+            f"{row['imbalance']:.2f}",
+        ]
+        for row in scaling.rows
+    ]
+    print(
+        format_table(
+            ["load", "devices", "router", "p50 ms", "p99 ms", "miss %", "migr", "imbal"],
+            rows,
+            title=(
+                f"Fleet serving — {scaling.system}, {scaling.num_streams} sessions, "
+                f"{scaling.kv_len // 1000}K cache/session, "
+                f"interconnect {scaling.interconnect}"
+            ),
+        )
+    )
+    heaviest = max(row["load"] for row in scaling.rows)
+    print(
+        f"\np99 collapse at load {heaviest:g} (round_robin, 1 -> "
+        f"{max(int(r['num_devices']) for r in scaling.rows)} devices): "
+        f"{scaling.tail_collapse(heaviest):.2f}x"
+    )
+
+    migration = run_migration_sweep()
+    rows = [
+        [
+            row["router"],
+            "-" if row["router"] != "kv_residency" else f"{row['patience']:g}",
+            int(row["migrations"]),
+            f"{row['interconnect_bytes'] / 1e9:.2f}",
+            f"{row['p50']:.2f}",
+            f"{row['p99']:.2f}",
+            f"{100.0 * row['deadline_miss_rate']:.1f}",
+        ]
+        for row in migration.rows
+    ]
+    print()
+    print(
+        format_table(
+            ["router", "patience", "migrations", "GB shipped", "p50 ms", "p99 ms", "miss %"],
+            rows,
+            title=(
+                f"Migration pricing — all sessions homed on device 0, "
+                f"{migration.interconnect} interconnect"
+            ),
+        )
+    )
+    return {"scaling": scaling, "migration": migration}
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,15 @@ from repro.hw.energy import (
 )
 from repro.hw.event import Timeline, TimelineTask
 from repro.hw.gpu import GPUDevice, pcie_config_for
+from repro.hw.interconnect import (
+    ETHERNET_100G,
+    FREE_INTERCONNECT,
+    NVLINK4,
+    PCIE5_SWITCH,
+    InterconnectLink,
+    InterconnectSpec,
+    ShardTransfer,
+)
 from repro.hw.roofline import RooflinePoint, attainable_tflops, ridge_point, roofline_curve
 from repro.hw.specs import (
     A100,
@@ -36,10 +45,17 @@ __all__ = [
     "ComputeEngine",
     "CoreAreaPower",
     "DeviceSpec",
+    "ETHERNET_100G",
     "EnergyModel",
+    "FREE_INTERCONNECT",
     "GPUDevice",
+    "InterconnectLink",
+    "InterconnectSpec",
     "KernelCost",
+    "NVLINK4",
+    "PCIE5_SWITCH",
     "RooflinePoint",
+    "ShardTransfer",
     "SystemPowerBreakdown",
     "TABLE_III",
     "Timeline",

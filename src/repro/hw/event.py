@@ -436,6 +436,7 @@ class PreemptiveResource:
         name: str = "compute",
         quantum_s: float = 1e-3,
         priority: int = 0,
+        record: bool = True,
         sanitize: bool | None = None,
     ):
         if quantum_s <= 0:
@@ -444,10 +445,20 @@ class PreemptiveResource:
         self.name = name
         self.quantum_s = float(quantum_s)
         self._priority = priority
+        self.record = record
         self._sanitize = _resolve_sanitize(sanitize)
         self._ready: deque[PreemptiveJob] = deque()
         self._running: PreemptiveJob | None = None
         self.jobs: list[PreemptiveJob] = []
+        #: busy integral: service seconds granted so far, accumulated at
+        #: slice ends (never rescanned — O(1) per ``busy_s`` poll)
+        self._busy_s = 0.0
+        #: sum of completed jobs' ``work_s`` (the grant side of the
+        #: busy-time-conservation sanitizer check)
+        self._completed_work_s = 0.0
+        self._submitted = 0
+        self._completed = 0
+        self._max_slowdown = 1.0
 
     @property
     def busy(self) -> bool:
@@ -465,9 +476,12 @@ class PreemptiveResource:
         if work_s < 0:
             raise ValueError(f"work_s must be non-negative, got {work_s}")
         job = PreemptiveJob(key, self.loop.now_s, float(work_s), callback)
-        self.jobs.append(job)
+        self._submitted += 1
+        if self.record:
+            self.jobs.append(job)
         if job.work_s == 0.0:  # simlint: exact — zero-work sentinel, no arithmetic behind it
             job.first_start_s = job.finish_s = self.loop.now_s
+            self._completed += 1
             if callback is not None:
                 callback(job)
             return job
@@ -477,8 +491,16 @@ class PreemptiveResource:
         return job
 
     def busy_s(self) -> float:
-        """Total service time delivered so far."""
-        return sum(job.served_s for job in self.jobs)
+        """Total service time delivered so far (the slice-granted integral).
+
+        Maintained incrementally at slice ends — a poll is O(1) no matter
+        how many jobs the server has ever seen, so routers and admission
+        policies may read it per decision.  It equals the per-job rescan
+        ``sum(job.served_s)`` up to float re-association (slices of
+        concurrent jobs accumulate in grant order, the rescan in
+        submission order); the property suite pins the two together.
+        """
+        return self._busy_s
 
     def backlog_s(self) -> float:
         """Unserved work currently in the system (running plus ready queue).
@@ -494,17 +516,24 @@ class PreemptiveResource:
         return total
 
     def max_slowdown(self) -> float:
-        """Largest completed-job slowdown (1.0 when nothing finished)."""
-        slowdowns = [job.slowdown for job in self.jobs if job.done and job.work_s > 0]
-        return max(slowdowns, default=1.0)
+        """Largest completed-job slowdown (1.0 when nothing finished).
+
+        Maintained as a running maximum at completion time, so it works
+        with ``record=False`` and never rescans the job history.
+        """
+        return self._max_slowdown
 
     def assert_drained(self) -> None:
         """Sanitizer check: all submitted work was served to completion.
 
         Raises :class:`~repro.devtools.sanitizer.SanitizerError` if a job
-        is still running or ready, or a completed job's record is
-        inconsistent (``served != work`` exactly, or a non-causal
-        ``arrival <= first_start <= finish`` ordering).
+        is still running or ready, a submitted job never completed, the
+        busy-time-conservation invariant is violated (the slice-granted
+        busy integral must telescope to the sum of completed jobs' work,
+        up to float-accumulation slack), or — with ``record=True`` — a
+        completed job's record is inconsistent (``served != work``
+        exactly, or a non-causal ``arrival <= first_start <= finish``
+        ordering).
         """
         if self._running is not None or self._ready:
             raise SanitizerError(
@@ -512,6 +541,20 @@ class PreemptiveResource:
                 f"preemptive resource {self.name!r} not drained: "
                 f"running={'yes' if self._running else 'no'}, "
                 f"{len(self._ready)} job(s) still ready",
+            )
+        if self._completed != self._submitted:
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"preemptive resource {self.name!r}: {self._submitted} job(s) "
+                f"submitted but only {self._completed} completed with empty queues",
+            )
+        slack = 1e-9 * max(self._completed_work_s, 1.0)
+        if abs(self._busy_s - self._completed_work_s) > slack:
+            raise SanitizerError(
+                RESOURCE_BALANCE,
+                f"preemptive resource {self.name!r}: busy-time conservation "
+                f"violated — granted {self._busy_s} s of slices but completed "
+                f"{self._completed_work_s} s of work",
             )
         for job in self.jobs:
             # simlint: exact — _yield_slice assigns served_s = work_s at completion
@@ -544,13 +587,20 @@ class PreemptiveResource:
         self._running = None
         remaining = job.work_s - job.served_s
         if remaining <= self.quantum_s:
+            self._busy_s += remaining
             job.served_s = job.work_s  # exact: no accumulated float error
             job.finish_s = self.loop.now_s
+            self._completed += 1
+            self._completed_work_s += job.work_s
+            slowdown = job.slowdown
+            if slowdown > self._max_slowdown:
+                self._max_slowdown = slowdown
             if self._ready:
                 self._dispatch()
             if job._callback is not None:
                 job._callback(job)
         else:
+            self._busy_s += self.quantum_s
             job.served_s += self.quantum_s
             self._ready.append(job)
             self._dispatch()

@@ -128,6 +128,26 @@ def validate_quantum(quantum_s: float) -> float:
     return float(quantum_s)
 
 
+@dataclass(frozen=True)
+class SessionShardBytes:
+    """One session's shard footprint as the memory plane registers it.
+
+    ``hot_bytes`` live in device DRAM, ``offloaded_bytes`` are the KV
+    shards spread across the banks, ``hc_table_bytes`` the packed
+    HC-table signatures riding along (ReSV systems only).  ``total_bytes``
+    is what a cross-device session migration must ship.
+    """
+
+    hot_bytes: float
+    offloaded_bytes: float
+    hc_table_bytes: float
+    num_clusters: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.hot_bytes + self.offloaded_bytes + self.hc_table_bytes
+
+
 # ---------------------------------------------------------------------- #
 # per-stream calibration
 # ---------------------------------------------------------------------- #
@@ -919,6 +939,41 @@ class BatchLatencyModel:
             return [default] * num_streams
         return _broadcast_per_stream(value, num_streams, name)
 
+    def session_shard_bytes(
+        self, system: SystemConfig, profile: StreamProfile
+    ) -> SessionShardBytes:
+        """One session's shard footprint: the bytes registration installs.
+
+        The same byte math :meth:`_memory_for` registers with the bank
+        hierarchy, exposed for callers that price moving a whole session —
+        the fleet plane charges a cross-device migration exactly these
+        bytes on the interconnect.
+        """
+        base = self.base
+        kv_bytes = base.llm.kv_cache_bytes(profile.kv_len, 1) * system.kv_bytes_scale
+        if system.kv_offloaded:
+            hot = min(kv_bytes, system.kv_device_budget_bytes)
+        else:
+            hot = kv_bytes
+        num_clusters = max(
+            int(profile.kv_len // base._avg_tokens_per_cluster(system, profile.measured)),
+            1,
+        )
+        hc_bytes = (
+            num_clusters
+            * base.llm.model.num_kv_heads
+            * base.llm.model.num_layers
+            * HC_SIGNATURE_BYTES
+            if system.policy.prediction == "resv"
+            else 0.0
+        )
+        return SessionShardBytes(
+            hot_bytes=hot,
+            offloaded_bytes=max(kv_bytes - hot, 0.0),
+            hc_table_bytes=hc_bytes,
+            num_clusters=num_clusters,
+        )
+
     def _memory_for(
         self, system: SystemConfig, profiles: Sequence[StreamProfile]
     ) -> ShardedKVHierarchy | None:
@@ -939,33 +994,16 @@ class BatchLatencyModel:
                 f"session_id per stream (shards are keyed by session); "
                 f"session id {duplicate} appears more than once"
             )
-        base = self.base
         memory = self.memory.clone_empty()
         ordered = sorted(profiles, key=lambda p: p.session_id)
         for profile in ordered:
-            kv_bytes = base.llm.kv_cache_bytes(profile.kv_len, 1) * system.kv_bytes_scale
-            if system.kv_offloaded:
-                hot = min(kv_bytes, system.kv_device_budget_bytes)
-            else:
-                hot = kv_bytes
-            num_clusters = max(
-                int(profile.kv_len // base._avg_tokens_per_cluster(system, profile.measured)),
-                1,
-            )
-            hc_bytes = (
-                num_clusters
-                * base.llm.model.num_kv_heads
-                * base.llm.model.num_layers
-                * HC_SIGNATURE_BYTES
-                if system.policy.prediction == "resv"
-                else 0.0
-            )
+            shards = self.session_shard_bytes(system, profile)
             memory.register(
                 profile.session_id,
-                offloaded_bytes=max(kv_bytes - hot, 0.0),
-                hot_bytes=hot,
-                num_clusters=num_clusters,
-                hc_table_bytes=hc_bytes,
+                offloaded_bytes=shards.offloaded_bytes,
+                hot_bytes=shards.hot_bytes,
+                num_clusters=shards.num_clusters,
+                hc_table_bytes=shards.hc_table_bytes,
             )
         return memory
 

@@ -1,0 +1,663 @@
+"""Multi-device fleet plane: session routing over a priced interconnect.
+
+Every plane below this one prices exactly *one* accelerator.
+:class:`FleetScheduler` runs M of them side by side — each device owns its
+own compute server, DRE, PCIe link and memory banks (a fresh clone of the
+plane's :class:`~repro.hw.memory.sharding.ShardedKVHierarchy` per device,
+exactly as a single-device run would build) — joined by a priced
+inter-device link (:class:`~repro.hw.interconnect.InterconnectLink`), with
+a front-end router that *places* each session on a device as its first
+job arrives.
+
+**Routing policies.**  The router processes sessions in arrival order
+(ties broken by the schedulers' ``(session_id, stream)`` event key):
+
+* ``round_robin`` — the k-th arriving session lands on device ``k % M``;
+  placement depends only on the arrival order of sessions, never on the
+  profile list order (permutation-invariance is property-tested);
+* ``least_loaded`` — the device with the smallest
+  :meth:`FleetDevice.backlog_s` estimate at decision time (the FCFS
+  work-estimate analogue of the single-device admission controller's
+  compute backlog);
+* ``power_of_two`` — classic power-of-two-choices: two candidate devices
+  drawn from a seeded RNG, the less loaded wins (ties to the lower
+  index);
+* ``kv_residency`` — sessions stay on their **home** device (where their
+  KV shards already live) unless its backlog exceeds
+  ``migrate_backlog_s``; only then does the session move to the least
+  loaded device.  Sessions without a home fall back to ``least_loaded``.
+
+**Migration pricing.**  A session placed *off* its home device must ship
+its whole shard footprint — hot window, offloaded KV shards, HC-table
+signatures, the exact bytes :meth:`BatchLatencyModel.session_shard_bytes`
+says registration installs — across the interconnect, FCFS behind other
+migrations.  The session's frames buffer at the router until the transfer
+lands: its arrival trace is clamped to the transfer finish time before
+the device ever sees it.  Fleet-level percentiles still measure sojourns
+from the *original* upload times, so migration delay is charged to the
+migrated session's latency, not hidden.
+
+**M=1 guarantee.**  A single-device fleet over the free interconnect
+routes every session to device 0 with no migration, no clamping, no RNG
+draw and no work estimation — the one device run *is* a plain
+:class:`~repro.sim.scheduler.ServingScheduler` run, bit for bit (records,
+timeline, summaries, event count), under both engines.  The fleet
+equivalence suite pins it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.devtools.sanitizer import sanitize_enabled
+from repro.hw.event import Timeline
+from repro.hw.interconnect import FREE_INTERCONNECT, InterconnectLink, InterconnectSpec
+from repro.sim.batched import BatchLatencyModel, StreamProfile, _broadcast_per_stream
+from repro.sim.scheduler import (
+    DEFAULT_PERCENTILES,
+    FRAME_JOB,
+    QUESTION_JOB,
+    JobRecord,
+    LatencySummary,
+    ScheduleResult,
+    SchedulerConfig,
+    ServingScheduler,
+    _summarize,
+)
+from repro.sim.systems import SystemConfig
+
+#: Session-placement policies of the fleet router.
+ROUTER_POLICIES = ("round_robin", "least_loaded", "power_of_two", "kv_residency")
+
+
+def validate_router_policy(router: str) -> str:
+    """Return ``router`` or raise for a policy the fleet lacks."""
+    if router not in ROUTER_POLICIES:
+        raise ValueError(
+            f"unknown router policy {router!r}; expected one of {ROUTER_POLICIES}"
+        )
+    return router
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Device count, routing policy and interconnect of one fleet.
+
+    ``seed`` feeds the ``power_of_two`` candidate draws (the only random
+    choice in the plane — every other policy is a deterministic function
+    of the arrival order).  ``migrate_backlog_s`` is the ``kv_residency``
+    policy's patience: a session leaves its home device only when the
+    home backlog estimate exceeds it (``inf`` never migrates).
+    """
+
+    num_devices: int = 1
+    router: str = "round_robin"
+    interconnect: InterconnectSpec = FREE_INTERCONNECT
+    seed: int = 0
+    migrate_backlog_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be at least 1, got {self.num_devices}")
+        validate_router_policy(self.router)
+        if self.migrate_backlog_s < 0:
+            raise ValueError(
+                f"migrate_backlog_s must be non-negative, got {self.migrate_backlog_s}"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One session shipped off its home device at placement time."""
+
+    session_id: int
+    stream_index: int
+    src_device: int
+    dst_device: int
+    num_bytes: float
+    decision_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay behind earlier migrations on the link."""
+        return self.start_s - self.decision_s
+
+    @property
+    def delay_s(self) -> float:
+        """Arrival clamp the migrated session's first jobs suffered."""
+        return self.finish_s - self.decision_s
+
+
+class FleetDevice:
+    """Router-visible load state of one device.
+
+    The router cannot see inside a device's future schedule (the per-device
+    runs happen after placement), so it keeps the classic FCFS estimator:
+    placing a session advances ``busy_until`` by the session's estimated
+    solo work, and :meth:`backlog_s` reads the unfinished remainder — the
+    fleet analogue of :meth:`PreemptiveResource.backlog_s`, O(1) per poll.
+    """
+
+    __slots__ = ("index", "streams", "sessions", "busy_until_s")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.streams: list[int] = []
+        self.sessions: list[int] = []
+        self.busy_until_s = 0.0
+
+    def backlog_s(self, now_s: float) -> float:
+        """Estimated unserved work queued on this device at ``now_s``."""
+        return max(0.0, self.busy_until_s - now_s)
+
+    def place(self, stream: int, session_id: int, t_s: float, work_s: float) -> None:
+        """Assign one session; its work extends the busy horizon FCFS."""
+        self.streams.append(stream)
+        self.sessions.append(session_id)
+        if math.isfinite(t_s):
+            self.busy_until_s = max(self.busy_until_s, t_s) + work_s
+
+
+@dataclass
+class DeviceRun:
+    """One device's slice of the fleet and its completed schedule."""
+
+    device: int
+    #: global stream indices served by this device, in original list order
+    stream_indices: list[int]
+    #: the device's own :class:`ScheduleResult` (``None`` for an idle device)
+    schedule: ScheduleResult | None
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.stream_indices)
+
+
+class FleetResult:
+    """Everything one fleet run produced.
+
+    Per-device :class:`ScheduleResult`\\ s stay accessible verbatim under
+    :attr:`devices`; the fleet-level views (:attr:`records`,
+    :meth:`fleet_summary`, :attr:`timeline`) merge them with migrated
+    sessions' sojourns measured from their *original* arrivals.  With one
+    device those views delegate to the device result unchanged — the M=1
+    bit-exactness guarantee.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        config: SchedulerConfig,
+        fleet: FleetConfig,
+        devices: list[DeviceRun],
+        placement: dict[int, int],
+        stream_devices: list[int],
+        migrations: list[MigrationRecord],
+        interconnect: InterconnectLink,
+        adjusted_records: dict[int, list[JobRecord]],
+    ):
+        self.system = system
+        self.config = config
+        self.fleet = fleet
+        self.devices = devices
+        #: session id → device index (feed back as ``home_devices`` to keep
+        #: sessions resident across successive runs)
+        self.placement = placement
+        #: global stream index → device index
+        self.stream_devices = stream_devices
+        self.migrations = migrations
+        self.interconnect = interconnect
+        #: device index → records remapped to global stream indices with
+        #: migrated sessions' arrivals restored (identity for one device)
+        self._adjusted = adjusted_records
+        self._records: list[JobRecord] | None = None
+
+    # ------------------------------------------------------------------ #
+    # fleet-level views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        return self.fleet.num_devices
+
+    @property
+    def migration_count(self) -> int:
+        """Sessions placed off their home device (shards shipped)."""
+        return len(self.migrations)
+
+    @property
+    def interconnect_bytes(self) -> float:
+        """Total shard bytes the migrations moved across the link."""
+        return self.interconnect.total_bytes
+
+    @property
+    def events_processed(self) -> int:
+        return sum(
+            run.schedule.events_processed
+            for run in self.devices
+            if run.schedule is not None
+        )
+
+    @property
+    def records(self) -> list[JobRecord]:
+        """All devices' records merged, sorted by (finish, stream, index).
+
+        Stream indices are global; migrated sessions' frame/question
+        arrivals are the original upload times (their sojourns include
+        the migration delay).  With one device this is the device's
+        record list unchanged.
+        """
+        if self._records is None:
+            if len(self.devices) == 1 and self.devices[0].schedule is not None:
+                self._records = self.devices[0].schedule.records
+            else:
+                merged: list[JobRecord] = []
+                for run in self.devices:
+                    merged.extend(self._adjusted.get(run.device, ()))
+                merged.sort(key=lambda r: (r.finish_s, r.stream_index, r.job_index))
+                self._records = merged
+        return self._records
+
+    @property
+    def timeline(self) -> Timeline:
+        """All devices' timelines; resources prefixed ``d<i>:`` when M>1."""
+        if len(self.devices) == 1:
+            run = self.devices[0]
+            return run.schedule.timeline if run.schedule is not None else Timeline()
+        merged = Timeline()
+        for run in self.devices:
+            if run.schedule is None:
+                continue
+            prefix = f"d{run.device}:"
+            for task in run.schedule.timeline.tasks:
+                merged.tasks.append(replace(task, resource=prefix + task.resource))
+        return merged
+
+    def fleet_summary(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES, kind: str | None = None
+    ) -> LatencySummary:
+        """Sojourn distribution over the whole fleet's served jobs."""
+        if len(self.devices) == 1 and self.devices[0].schedule is not None:
+            return self.devices[0].schedule.fleet_summary(percentiles, kind)
+        records = self.records
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        return _summarize("fleet", records, percentiles)
+
+    def device_summaries(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> list[LatencySummary]:
+        """One device-observed sojourn summary per device (idle → empty)."""
+        summaries = []
+        for run in self.devices:
+            scope = f"device {run.device}"
+            if run.schedule is None:
+                summaries.append(_summarize(scope, [], percentiles))
+            elif len(self.devices) == 1:
+                summaries.append(
+                    replace(run.schedule.fleet_summary(percentiles), scope=scope)
+                )
+            else:
+                summaries.append(
+                    _summarize(scope, self._adjusted.get(run.device, []), percentiles)
+                )
+        return summaries
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.records if not r.dropped)
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def makespan_s(self) -> float:
+        """First (original) arrival to last finish across served jobs."""
+        served = [r for r in self.records if not r.dropped]
+        if not served:
+            return 0.0
+        return max(r.finish_s for r in served) - min(r.arrival_s for r in served)
+
+
+class FleetScheduler:
+    """Routes sessions onto a fleet of M independent serving devices.
+
+    Wraps one :class:`~repro.sim.scheduler.ServingScheduler` (so repeated
+    runs share its priced-stage cache) and instantiates each device's
+    resources from the same plane — every device prices identically to a
+    single-device run over its assigned sessions.
+    """
+
+    def __init__(
+        self,
+        plane: BatchLatencyModel | None = None,
+        config: SchedulerConfig | None = None,
+        fleet: FleetConfig | None = None,
+        engine: str = "array",
+    ):
+        self.fleet = fleet or FleetConfig()
+        self.scheduler = ServingScheduler(plane, config, engine=engine)
+        #: per-stream solo-work estimator cache, identity-keyed like the
+        #: scheduler's price cache (sweeps reuse profile objects run to run)
+        self._estimate_cache: dict = {}
+
+    @property
+    def plane(self) -> BatchLatencyModel:
+        return self.scheduler.plane
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self.scheduler.config
+
+    @property
+    def engine(self) -> str:
+        return self.scheduler.engine
+
+    # ------------------------------------------------------------------ #
+    # the run
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        system: SystemConfig,
+        profiles: Sequence[StreamProfile],
+        frame_arrivals: Sequence[Sequence[float]],
+        question_arrivals: Sequence[float | None] | None = None,
+        question_tokens: int | Sequence[int | None] | None = None,
+        answer_tokens: int | Sequence[int] | None = None,
+        home_devices: dict[int, int] | None = None,
+    ) -> FleetResult:
+        """Place every session, ship migrations, run each device, merge.
+
+        ``home_devices`` maps session ids to the device already holding
+        their shards (e.g. the previous run's :attr:`FleetResult.placement`);
+        sessions without an entry are new — placing them anywhere is free.
+        A session placed off its home ships its shard bytes across the
+        interconnect and its arrivals clamp to the transfer finish.
+        """
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("the fleet needs at least one stream profile")
+        num_streams = len(profiles)
+        fleet = self.fleet
+        num_devices = fleet.num_devices
+        traces = ServingScheduler._validated_traces(frame_arrivals, num_streams)
+        if question_arrivals is None:
+            q_arrivals: list[float | None] = [None] * num_streams
+        else:
+            q_arrivals = list(question_arrivals)
+            if len(q_arrivals) != num_streams:
+                raise ValueError(
+                    f"expected one question arrival per stream ({num_streams}), "
+                    f"got {len(q_arrivals)}"
+                )
+        if question_tokens is None or isinstance(question_tokens, int):
+            q_tokens: list[int | None] = [question_tokens] * num_streams  # type: ignore[list-item]
+        else:
+            q_tokens = _broadcast_per_stream(
+                question_tokens, num_streams, "question_tokens", allow_none_entries=True
+            )
+        answers = self.plane._per_stream_counts(
+            answer_tokens, 0, num_streams, "answer_tokens"
+        )
+        homes = self._validated_homes(home_devices, profiles)
+
+        # ---------------- routing pass (arrival order) ----------------- #
+        link = InterconnectLink(fleet.interconnect)
+        devices = [FleetDevice(d) for d in range(num_devices)]
+        migrations: list[MigrationRecord] = []
+        ready_at = [0.0] * num_streams
+        placement: dict[int, int] = {}
+        stream_devices = [0] * num_streams
+
+        order = sorted(
+            range(num_streams),
+            key=lambda s: (
+                self._first_arrival(traces[s], q_arrivals[s]),
+                (profiles[s].session_id, s),
+            ),
+        )
+        need_estimates = num_devices > 1 and fleet.router != "round_robin"
+        rng = (
+            np.random.default_rng(fleet.seed)
+            if num_devices > 1 and fleet.router == "power_of_two"
+            else None
+        )
+        rr_next = 0
+        for s in order:
+            profile = profiles[s]
+            session = profile.session_id
+            t = self._first_arrival(traces[s], q_arrivals[s])
+            has_jobs = math.isfinite(t)
+            home = homes.get(session)
+            if num_devices == 1:
+                d = 0
+            elif not has_jobs:
+                # an idle session only needs a home for its registration
+                d = home if home is not None else rr_next % num_devices
+            else:
+                d = self._choose(fleet, devices, rng, rr_next, t, home)
+            if fleet.router == "round_robin" or (not has_jobs and home is None):
+                rr_next += 1
+            work_s = (
+                self._estimated_work_s(system, profile, traces[s], q_arrivals[s], answers[s])
+                if need_estimates and has_jobs
+                else 0.0
+            )
+            devices[d].place(s, session, t, work_s)
+            placement[session] = d
+            stream_devices[s] = d
+            if home is not None and d != home and has_jobs:
+                shards = self.plane.session_shard_bytes(system, profile)
+                transfer = link.ship(
+                    t,
+                    shards.total_bytes,
+                    session_id=session,
+                    src_device=home,
+                    dst_device=d,
+                )
+                ready_at[s] = transfer.finish_s
+                migrations.append(
+                    MigrationRecord(
+                        session_id=session,
+                        stream_index=s,
+                        src_device=home,
+                        dst_device=d,
+                        num_bytes=shards.total_bytes,
+                        decision_s=t,
+                        start_s=transfer.start_s,
+                        finish_s=transfer.finish_s,
+                    )
+                )
+
+        # ---------------- per-device runs (original order) ------------- #
+        runs: list[DeviceRun] = []
+        adjusted: dict[int, list[JobRecord]] = {}
+        if num_devices == 1 and not migrations:
+            schedule = self.scheduler.run(
+                system,
+                profiles,
+                traces,
+                question_arrivals=q_arrivals,
+                question_tokens=question_tokens,
+                answer_tokens=answer_tokens,
+            )
+            runs.append(DeviceRun(0, list(range(num_streams)), schedule))
+        else:
+            for device in devices:
+                streams_d = sorted(device.streams)
+                if not streams_d:
+                    runs.append(DeviceRun(device.index, [], None))
+                    continue
+                sub_traces = []
+                sub_q: list[float | None] = []
+                for s in streams_d:
+                    ready = ready_at[s]
+                    if ready > 0.0:
+                        sub_traces.append(np.maximum(traces[s], ready))
+                        at = q_arrivals[s]
+                        sub_q.append(at if at is None else max(at, ready))
+                    else:
+                        sub_traces.append(traces[s])
+                        sub_q.append(q_arrivals[s])
+                schedule = self.scheduler.run(
+                    system,
+                    [profiles[s] for s in streams_d],
+                    sub_traces,
+                    question_arrivals=sub_q,
+                    question_tokens=[q_tokens[s] for s in streams_d]
+                    if question_tokens is not None
+                    else None,
+                    answer_tokens=[answers[s] for s in streams_d],
+                )
+                runs.append(DeviceRun(device.index, streams_d, schedule))
+                adjusted[device.index] = self._globalized_records(
+                    schedule, streams_d, traces, q_arrivals, ready_at
+                )
+
+        if sanitize_enabled():
+            link.assert_conserved()
+
+        return FleetResult(
+            system=system.name,
+            config=self.config,
+            fleet=fleet,
+            devices=runs,
+            placement=placement,
+            stream_devices=stream_devices,
+            migrations=migrations,
+            interconnect=link,
+            adjusted_records=adjusted,
+        )
+
+    # ------------------------------------------------------------------ #
+    # routing internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _first_arrival(trace: np.ndarray, question_at: float | None) -> float:
+        """The session's placement time: its earliest job arrival."""
+        first = float(trace[0]) if trace.size else math.inf
+        if question_at is not None:
+            first = min(first, float(question_at))
+        return first
+
+    def _validated_homes(
+        self, home_devices: dict[int, int] | None, profiles: list[StreamProfile]
+    ) -> dict[int, int]:
+        if not home_devices:
+            return {}
+        sessions = {profile.session_id for profile in profiles}
+        num_devices = self.fleet.num_devices
+        for session, device in home_devices.items():
+            if session not in sessions:
+                raise ValueError(
+                    f"home_devices names session {session}, which is not in the fleet"
+                )
+            if not 0 <= device < num_devices:
+                raise ValueError(
+                    f"home_devices places session {session} on device {device}; "
+                    f"the fleet has {num_devices} device(s)"
+                )
+        return dict(home_devices)
+
+    def _choose(
+        self,
+        fleet: FleetConfig,
+        devices: list[FleetDevice],
+        rng,
+        rr_next: int,
+        t: float,
+        home: int | None,
+    ) -> int:
+        router = fleet.router
+        if router == "round_robin":
+            return rr_next % len(devices)
+        if router == "power_of_two":
+            first = int(rng.integers(len(devices)))
+            second = int(rng.integers(len(devices) - 1))
+            if second >= first:
+                second += 1
+            a, b = min(first, second), max(first, second)
+            return a if devices[a].backlog_s(t) <= devices[b].backlog_s(t) else b
+        if router == "kv_residency" and home is not None:
+            if devices[home].backlog_s(t) <= fleet.migrate_backlog_s:
+                return home
+        # least_loaded (and the kv_residency/homeless fallbacks)
+        return min(devices, key=lambda d: (d.backlog_s(t), d.index)).index
+
+    def _estimated_work_s(
+        self,
+        system: SystemConfig,
+        profile: StreamProfile,
+        trace: np.ndarray,
+        question_at: float | None,
+        answer_count: int,
+    ) -> float:
+        """Session work estimate: solo frame latency × job count.
+
+        Questions and generation tokens are charged at the frame rate —
+        the router needs a consistent load ranking across devices, not an
+        exact latency; the per-device schedulers price exactly.
+        """
+        key = (id(system), id(profile))
+        cached = self._estimate_cache.get(key)
+        if cached is not None and cached[0] is system and cached[1] is profile:
+            solo = cached[2]
+        else:
+            solo = self.plane.frame_step(system, [profile]).streams[0].total_s
+            if len(self._estimate_cache) >= 4096:
+                self._estimate_cache.clear()
+            self._estimate_cache[key] = (system, profile, solo)
+        jobs = int(trace.size) + (1 if question_at is not None else 0) + answer_count
+        return solo * jobs
+
+    # ------------------------------------------------------------------ #
+    # record adjustment
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _globalized_records(
+        schedule: ScheduleResult,
+        streams_d: list[int],
+        traces: list[np.ndarray],
+        q_arrivals: list[float | None],
+        ready_at: list[float],
+    ) -> list[JobRecord]:
+        """Device records remapped to global streams, arrivals restored.
+
+        A migrated session's frames buffered at the router until its
+        shards landed; the device saw clamped arrivals, but the user
+        uploaded at the original times — fleet sojourns (and deadline
+        misses) are measured from those.  Generation jobs chain off
+        finish times and are never clamped.
+        """
+        out: list[JobRecord] = []
+        for record in schedule.records:
+            s = streams_d[record.stream_index]
+            arrival = record.arrival_s
+            if ready_at[s] > 0.0:
+                if record.kind == FRAME_JOB:
+                    arrival = float(traces[s][record.job_index])
+                elif record.kind == QUESTION_JOB:
+                    arrival = float(q_arrivals[s])
+            unchanged = arrival == record.arrival_s  # simlint: exact — identity pass-through gate
+            if s == record.stream_index and unchanged:
+                out.append(record)
+                continue
+            missed = record.deadline_missed
+            deadline = schedule.config.deadline_s
+            if not record.dropped and deadline is not None:
+                missed = record.finish_s - arrival > deadline
+            out.append(
+                replace(
+                    record,
+                    stream_index=s,
+                    arrival_s=arrival,
+                    deadline_missed=missed,
+                )
+            )
+        return out

@@ -953,7 +953,11 @@ class ServingScheduler:
         timesliced = cfg.compute == "timesliced"
         compute_server = (
             PreemptiveResource(
-                loop, "compute", quantum_s=cfg.quantum_s, priority=_PRIO_COMPLETE
+                loop,
+                "compute",
+                quantum_s=cfg.quantum_s,
+                priority=_PRIO_COMPLETE,
+                record=False,
             )
             if timesliced
             else None

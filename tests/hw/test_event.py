@@ -245,3 +245,80 @@ class TestPreemptiveResource:
             if previous_bound is not None:
                 assert bound < previous_bound  # the guarantee tightens
             previous_bound = bound
+
+
+class TestPreemptiveAccounting:
+    """The O(1) accounting accumulators match a full rescan of the jobs.
+
+    ``busy_s()`` used to re-sum ``served_s`` over every job ever submitted
+    on each poll; it is now a slice-granted accumulator.  The accumulator
+    and the rescan associate their float additions differently (slice
+    grant order vs per-job submission order), so the property pins them
+    together at tight relative tolerance, not bit-exactly.
+    """
+
+    @staticmethod
+    def _run_staggered(works, arrivals, quantum_s, record=True):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=quantum_s, record=record)
+        jobs = []
+        for index, (work, arrival) in enumerate(zip(works, arrivals, strict=True)):
+            loop.schedule(
+                arrival,
+                lambda work=work, index=index: jobs.append(
+                    server.submit(work, key=(index,))
+                ),
+            )
+        loop.run()
+        return server, jobs
+
+    @given(
+        works=st.lists(
+            st.floats(min_value=1e-3, max_value=0.2, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ),
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+            min_size=6,
+            max_size=6,
+        ),
+        quantum_s=st.floats(min_value=1e-3, max_value=0.05, allow_nan=False),
+    )
+    def test_busy_accumulator_matches_job_rescan(self, works, gaps, quantum_s):
+        arrivals = np.cumsum(gaps)[: len(works)]
+        server, jobs = self._run_staggered(works, arrivals, quantum_s)
+        rescan = sum(job.served_s for job in server.jobs)
+        assert server.busy_s() == pytest.approx(rescan, rel=1e-9)
+        assert server.busy_s() == pytest.approx(sum(works), rel=1e-9)
+        # the running max is floored at 1.0: a lone job's slowdown can
+        # round to 0.999... while the resource reports the logical minimum
+        assert server.max_slowdown() == max(
+            1.0, max(job.slowdown for job in jobs)
+        )
+        server.assert_drained()
+
+    def test_record_false_runs_identically_and_retains_nothing(self):
+        works = [0.07, 0.011, 0.19, 0.003]
+        arrivals = [0.0, 0.01, 0.01, 0.25]
+        recorded, jobs_rec = self._run_staggered(works, arrivals, 1e-3, record=True)
+        bare, jobs_bare = self._run_staggered(works, arrivals, 1e-3, record=False)
+        for a, b in zip(jobs_rec, jobs_bare, strict=True):
+            assert b.finish_s == a.finish_s
+            assert b.first_start_s == a.first_start_s
+            assert b.served_s == a.served_s
+        assert bare.busy_s() == recorded.busy_s()
+        assert bare.max_slowdown() == recorded.max_slowdown()
+        assert len(recorded.jobs) == len(works)
+        assert bare.jobs == []  # record=False retains no per-job history
+        bare.assert_drained()  # accumulator checks still run without records
+
+    def test_busy_accumulator_counts_partial_slices_midrun(self):
+        loop = EventLoop()
+        server = PreemptiveResource(loop, quantum_s=1.0)
+        server.submit(2.5, key=(0,))
+        loop.run(until_s=2.0)
+        # two full slices granted so far; the final half slice is pending
+        assert server.busy_s() == pytest.approx(2.0)
+        loop.run()
+        assert server.busy_s() == pytest.approx(2.5)

@@ -1,0 +1,511 @@
+"""Fleet plane: M=1 bit-exactness, routing properties, migration pricing.
+
+Three pins, mirroring how every earlier plane entered the repo as a
+verified superset:
+
+* **degenerate case** — a single-device fleet over the free interconnect
+  reproduces a plain :class:`ServingScheduler` run *bit for bit* (records,
+  timeline tasks, summaries, event count) across hypothesis-generated
+  workloads, admission configs and both engines;
+* **routing properties** — round-robin placement is invariant under
+  permutations of the profile list, power-of-two is seed-deterministic,
+  and ``kv_residency`` never ships more shard bytes than a load-blind
+  router on a residency-skewed population;
+* **golden fleet run** — one seeded bursty M=4 run with migrations over a
+  PCIe5-switch interconnect, pinned exactly (percentiles, migration
+  count, shipped bytes, placement) under both engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.interconnect import FREE_INTERCONNECT, PCIE5_SWITCH, InterconnectSpec
+from repro.sim.arrivals import BurstyArrivals, PoissonArrivals, rate_for_load
+from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.fleet import (
+    ROUTER_POLICIES,
+    FleetConfig,
+    FleetScheduler,
+    validate_router_policy,
+)
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler
+from repro.sim.systems import edge_systems
+from repro.sim.workload import default_llm_workload
+
+
+@pytest.fixture(scope="module")
+def edge():
+    return edge_systems(default_llm_workload().model_bytes())
+
+
+def _profiles(kv_lens):
+    return [
+        StreamProfile(kv_len=kv, session_id=index)
+        for index, kv in enumerate(kv_lens)
+    ]
+
+
+def _value_equal(a, b) -> bool:
+    """Exact equality, except NaN == NaN (empty-sample percentiles)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_value_equal(a[k], b[k]) for k in a)
+    return a == b
+
+
+def assert_summaries_equal(a, b):
+    assert type(a) is type(b)
+    for field in a.__dataclass_fields__:
+        if field == "scope":
+            continue
+        assert _value_equal(getattr(a, field), getattr(b, field)), field
+
+
+def assert_fleet_matches_schedule(fleet_result, schedule):
+    """The M=1 guarantee: field-exact equality, no tolerances."""
+    assert fleet_result.events_processed == schedule.events_processed
+    assert len(fleet_result.records) == len(schedule.records)
+    for fleet_record, record in zip(
+        fleet_result.records, schedule.records, strict=True
+    ):
+        assert fleet_record == record
+    assert fleet_result.timeline.tasks == schedule.timeline.tasks
+    assert_summaries_equal(fleet_result.fleet_summary(), schedule.fleet_summary())
+    assert fleet_result.served == schedule.served
+    assert fleet_result.dropped == schedule.dropped
+    assert fleet_result.makespan_s == schedule.makespan_s
+    assert fleet_result.migration_count == 0
+    assert fleet_result.interconnect_bytes == 0.0
+
+
+class TestSingleDeviceBitExact:
+    """M=1 with a free interconnect IS a ServingScheduler run."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_streams=st.integers(min_value=1, max_value=4),
+        frames=st.integers(min_value=0, max_value=5),
+        load=st.floats(min_value=0.3, max_value=1.8),
+        bursty=st.booleans(),
+        depth=st.sampled_from([None, 1, 4]),
+        deadline_mult=st.sampled_from([None, 2.0]),
+        with_question=st.booleans(),
+        engine=st.sampled_from(["array", "reference"]),
+        router=st.sampled_from(ROUTER_POLICIES),
+    )
+    def test_single_device_matches_scheduler(
+        self,
+        edge,
+        seed,
+        num_streams,
+        frames,
+        load,
+        bursty,
+        depth,
+        deadline_mult,
+        with_question,
+        engine,
+        router,
+    ):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        rng = np.random.default_rng(seed)
+        profiles = _profiles(
+            [int(rng.integers(5_000, 45_000)) for _ in range(num_streams)]
+        )
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        rate = rate_for_load(load, solo, num_streams)
+        process = (
+            BurstyArrivals.for_mean_rate(rate)
+            if bursty
+            else PoissonArrivals(rate_hz=rate)
+        )
+        traces = process.generate(num_streams, frames, seed=seed)
+        config = SchedulerConfig(
+            deadline_s=None if deadline_mult is None else deadline_mult * solo,
+            max_queue_depth=depth,
+        )
+        kwargs = {}
+        if with_question:
+            last = max(
+                (float(trace[-1]) for trace in traces if len(trace)), default=0.0
+            )
+            kwargs = {
+                "question_arrivals": [last + 0.01] * num_streams,
+                "answer_tokens": 2,
+            }
+        schedule = ServingScheduler(plane, config, engine=engine).run(
+            system, profiles, traces, **kwargs
+        )
+        fleet = FleetScheduler(
+            plane, config, FleetConfig(num_devices=1, router=router), engine=engine
+        ).run(system, profiles, traces, **kwargs)
+        assert_fleet_matches_schedule(fleet, schedule)
+
+    def test_single_device_with_homes_still_exact(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([30_000, 10_000])
+        traces = PoissonArrivals(rate_hz=4.0).generate(2, 6, seed=3)
+        schedule = ServingScheduler(plane, SchedulerConfig()).run(
+            system, profiles, traces
+        )
+        fleet = FleetScheduler(plane, SchedulerConfig(), FleetConfig()).run(
+            system,
+            profiles,
+            traces,
+            home_devices={profile.session_id: 0 for profile in profiles},
+        )
+        assert_fleet_matches_schedule(fleet, schedule)
+        assert fleet.placement == {0: 0, 1: 0}
+
+    def test_single_device_timeline_is_the_device_timeline(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([20_000])
+        traces = PoissonArrivals(rate_hz=4.0).generate(1, 4, seed=5)
+        fleet = FleetScheduler(plane, SchedulerConfig(), FleetConfig()).run(
+            system, profiles, traces
+        )
+        # no d0: prefixes — the device timeline is returned verbatim
+        assert all(
+            not task.resource.startswith("d0:")
+            for task in fleet.timeline.tasks
+        )
+        assert fleet.devices[0].schedule is not None
+        assert fleet.timeline is fleet.devices[0].schedule.timeline
+
+
+class TestValidation:
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            validate_router_policy("random")
+        with pytest.raises(ValueError):
+            FleetConfig(router="random")
+
+    def test_bad_device_count_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_devices=0)
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(migrate_backlog_s=-1.0)
+
+    def test_home_for_unknown_session_rejected(self, edge):
+        plane = BatchLatencyModel()
+        profiles = _profiles([10_000])
+        traces = [[0.0]]
+        fleet = FleetScheduler(plane, SchedulerConfig(), FleetConfig(num_devices=2))
+        with pytest.raises(ValueError, match="not in the fleet"):
+            fleet.run(edge["V-Rex8"], profiles, traces, home_devices={99: 0})
+
+    def test_home_device_out_of_range_rejected(self, edge):
+        plane = BatchLatencyModel()
+        profiles = _profiles([10_000])
+        traces = [[0.0]]
+        fleet = FleetScheduler(plane, SchedulerConfig(), FleetConfig(num_devices=2))
+        with pytest.raises(ValueError, match="device"):
+            fleet.run(edge["V-Rex8"], profiles, traces, home_devices={0: 5})
+
+    def test_empty_fleet_rejected(self, edge):
+        fleet = FleetScheduler(BatchLatencyModel(), SchedulerConfig(), FleetConfig())
+        with pytest.raises(ValueError, match="at least one stream"):
+            fleet.run(edge["V-Rex8"], [], [])
+
+
+class TestRouting:
+    def _workload(self, edge, num_streams=8, frames=6, seed=0, load=1.2):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([40_000] * num_streams)
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = PoissonArrivals(
+            rate_hz=rate_for_load(load, solo, num_streams)
+        ).generate(num_streams, frames, seed=seed)
+        config = SchedulerConfig(deadline_s=3.0 * solo, max_queue_depth=8)
+        return plane, system, profiles, traces, config
+
+    def test_round_robin_placement_is_permutation_invariant(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge)
+        fleet = FleetScheduler(plane, config, FleetConfig(num_devices=4))
+        original = fleet.run(system, profiles, traces)
+        order = [3, 0, 7, 5, 1, 6, 2, 4]
+        permuted = fleet.run(
+            system, [profiles[i] for i in order], [traces[i] for i in order]
+        )
+        # placement is keyed by session id: shuffling the profile list must
+        # not move any session to a different device
+        assert permuted.placement == original.placement
+        assert_summaries_equal(permuted.fleet_summary(), original.fleet_summary())
+        assert sorted(
+            (r.session_id, r.kind, r.job_index, r.finish_s)
+            for r in permuted.records
+        ) == sorted(
+            (r.session_id, r.kind, r.job_index, r.finish_s)
+            for r in original.records
+        )
+
+    def test_round_robin_deals_sessions_in_arrival_order(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge, num_streams=4)
+        fleet = FleetScheduler(plane, config, FleetConfig(num_devices=2))
+        result = fleet.run(system, profiles, traces)
+        order = sorted(range(4), key=lambda s: traces[s][0])
+        expected = {
+            profiles[s].session_id: index % 2 for index, s in enumerate(order)
+        }
+        assert result.placement == expected
+
+    def test_least_loaded_uses_every_device(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge)
+        fleet = FleetScheduler(
+            plane, config, FleetConfig(num_devices=4, router="least_loaded")
+        )
+        result = fleet.run(system, profiles, traces)
+        # backlog decays between arrivals so splits need not be perfectly
+        # even, but no device sits empty while another drowns
+        counts = [run.num_streams for run in result.devices]
+        assert all(count >= 1 for count in counts)
+        assert sum(counts) == len(profiles)
+
+    def test_power_of_two_is_seed_deterministic(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge)
+        config_a = FleetConfig(num_devices=4, router="power_of_two", seed=11)
+        first = FleetScheduler(plane, config, config_a).run(system, profiles, traces)
+        second = FleetScheduler(plane, config, config_a).run(system, profiles, traces)
+        assert first.placement == second.placement
+        assert first.records == second.records
+
+    def test_kv_residency_stays_home_under_infinite_patience(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge)
+        homes = {profile.session_id: index % 4 for index, profile in enumerate(profiles)}
+        fleet = FleetScheduler(
+            plane, config, FleetConfig(num_devices=4, router="kv_residency")
+        )
+        result = fleet.run(system, profiles, traces, home_devices=homes)
+        assert result.placement == homes
+        assert result.migration_count == 0
+        assert result.interconnect_bytes == 0.0
+
+    def test_kv_residency_migrates_when_patience_runs_out(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge)
+        homes = {profile.session_id: 0 for profile in profiles}
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(
+                num_devices=4,
+                router="kv_residency",
+                interconnect=PCIE5_SWITCH,
+                migrate_backlog_s=0.0,
+            ),
+        )
+        result = fleet.run(system, profiles, traces, home_devices=homes)
+        assert result.migration_count > 0
+        assert result.interconnect_bytes > 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_kv_residency_never_ships_more_than_round_robin(self, edge, seed):
+        """On a residency-skewed population, honoring homes conserves bytes."""
+        plane, system, profiles, traces, config = self._workload(edge, seed=seed)
+        homes = {profile.session_id: 0 for profile in profiles}
+        shipped = {}
+        for router in ("round_robin", "kv_residency"):
+            fleet = FleetScheduler(
+                plane,
+                config,
+                FleetConfig(
+                    num_devices=4,
+                    router=router,
+                    interconnect=PCIE5_SWITCH,
+                    seed=seed,
+                    migrate_backlog_s=10.0,
+                ),
+            )
+            result = fleet.run(system, profiles, traces, home_devices=homes)
+            shipped[router] = result.interconnect_bytes
+        assert shipped["kv_residency"] <= shipped["round_robin"]
+
+    def test_idle_streams_place_without_estimates_or_bytes(self, edge):
+        plane, system, profiles, traces, config = self._workload(edge, num_streams=4)
+        empty = [np.asarray([], dtype=float)] * 2
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(num_devices=2, router="least_loaded", interconnect=PCIE5_SWITCH),
+        )
+        homes = {2: 1, 3: 0}  # idle sessions homed off the busy device
+        result = fleet.run(
+            system,
+            profiles,
+            traces[:2] + empty,
+            home_devices=homes,
+        )
+        # idle sessions sit on their homes and never ship a byte
+        assert result.placement[2] == 1
+        assert result.placement[3] == 0
+        assert result.interconnect_bytes == 0.0
+        assert {r.stream_index for r in result.records} == {0, 1}
+
+
+class TestMigration:
+    def test_migrated_records_keep_original_arrivals(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([40_000, 40_000])
+        traces = [[0.0, 0.5], [0.01, 0.6]]
+        slow = InterconnectSpec(name="slow", bandwidth_gbps=8.0, latency_us=10.0)
+        fleet = FleetScheduler(
+            plane,
+            SchedulerConfig(),
+            FleetConfig(num_devices=2, router="round_robin", interconnect=slow),
+        )
+        homes = {0: 0, 1: 0}
+        result = fleet.run(system, profiles, traces, home_devices=homes)
+        assert result.migration_count == 1
+        migration = result.migrations[0]
+        assert migration.session_id == 1
+        assert migration.src_device == 0 and migration.dst_device == 1
+        assert migration.finish_s > migration.decision_s
+        migrated = [r for r in result.records if r.stream_index == 1]
+        # sojourns are measured from the ORIGINAL upload times...
+        assert [r.arrival_s for r in migrated] == traces[1]
+        # ...but nothing starts before the shards landed
+        assert all(r.start_s >= migration.finish_s for r in migrated)
+        # the migration delay is charged to the migrated session's latency
+        stayed = [r for r in result.records if r.stream_index == 0]
+        assert migrated[0].sojourn_s > stayed[0].sojourn_s
+
+    def test_migration_delay_can_miss_deadlines(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([40_000, 40_000])
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = [[0.0], [0.01]]
+        crawl = InterconnectSpec(name="crawl", bandwidth_gbps=0.5, latency_us=100.0)
+        fleet = FleetScheduler(
+            plane,
+            SchedulerConfig(deadline_s=2.0 * solo),
+            FleetConfig(num_devices=2, router="round_robin", interconnect=crawl),
+        )
+        result = fleet.run(
+            system, profiles, traces, home_devices={0: 0, 1: 0}
+        )
+        migrated = [r for r in result.records if r.stream_index == 1]
+        assert all(r.deadline_missed for r in migrated)
+        stayed = [r for r in result.records if r.stream_index == 0]
+        assert not any(r.deadline_missed for r in stayed)
+
+    def test_free_interconnect_migration_costs_nothing_in_time(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([30_000, 30_000])
+        traces = [[0.0, 0.4], [0.02, 0.5]]
+        fleet = FleetScheduler(
+            plane,
+            SchedulerConfig(),
+            FleetConfig(num_devices=2, interconnect=FREE_INTERCONNECT),
+        )
+        result = fleet.run(system, profiles, traces, home_devices={0: 0, 1: 0})
+        assert result.migration_count == 1
+        assert result.migrations[0].finish_s == result.migrations[0].decision_s
+        # bytes are still accounted even though the transfer is instant
+        assert result.interconnect_bytes > 0.0
+
+    def test_placement_feeds_back_as_homes(self, edge):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([40_000] * 4)
+        traces = PoissonArrivals(rate_hz=4.0).generate(4, 5, seed=9)
+        fleet = FleetScheduler(
+            plane,
+            SchedulerConfig(),
+            FleetConfig(num_devices=2, router="kv_residency", interconnect=PCIE5_SWITCH),
+        )
+        first = fleet.run(system, profiles, traces)
+        assert first.migration_count == 0  # homeless sessions place for free
+        second = fleet.run(
+            system, profiles, traces, home_devices=first.placement
+        )
+        # sessions land where their shards already live: nothing ships
+        assert second.placement == first.placement
+        assert second.migration_count == 0
+
+
+class TestGoldenFleet:
+    """Seeded M=4 bursty run with migrations, pinned under both engines."""
+
+    EXPECTED = {
+        "p50_ms": 349.85499796018615,
+        "p95_ms": 1692.4668388690347,
+        "p99_ms": 2058.567338379626,
+        "mean_ms": 598.6723600591451,
+        "miss_rate": 0.390625,
+        "served": 64,
+        "dropped": 0,
+        "events": 256,
+        "migrations": 6,
+        "interconnect_bytes": 31472640000.0,
+        "interconnect_busy_s": 0.5464300000000001,
+        "makespan_s": 29.938158529163086,
+        "placement": {0: 0, 1: 1, 2: 2, 3: 3, 4: 0, 5: 1, 6: 2, 7: 3},
+    }
+
+    @pytest.mark.parametrize("engine", ["array", "reference"])
+    def test_seeded_fleet_reproduces_exact_statistics(self, edge, engine):
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = _profiles([40_000] * 8)
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = BurstyArrivals.for_mean_rate(
+            rate_for_load(1.3, solo, 8)
+        ).generate(8, 8, seed=17)
+        config = SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=4)
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(
+                num_devices=4,
+                router="least_loaded",
+                interconnect=PCIE5_SWITCH,
+                seed=17,
+            ),
+            engine=engine,
+        )
+        result = fleet.run(
+            system,
+            profiles,
+            traces,
+            home_devices={profile.session_id: 0 for profile in profiles},
+        )
+        expected = self.EXPECTED
+        summary = result.fleet_summary()
+        assert summary.p50_ms == pytest.approx(expected["p50_ms"], rel=1e-12)
+        assert summary.p95_ms == pytest.approx(expected["p95_ms"], rel=1e-12)
+        assert summary.p99_ms == pytest.approx(expected["p99_ms"], rel=1e-12)
+        assert summary.mean_ms == pytest.approx(expected["mean_ms"], rel=1e-12)
+        assert summary.deadline_miss_rate == pytest.approx(
+            expected["miss_rate"], rel=1e-12
+        )
+        assert result.served == expected["served"]
+        assert result.dropped == expected["dropped"]
+        assert result.events_processed == expected["events"]
+        assert result.migration_count == expected["migrations"]
+        assert result.interconnect_bytes == pytest.approx(
+            expected["interconnect_bytes"], rel=1e-12
+        )
+        assert result.interconnect.busy_s() == pytest.approx(
+            expected["interconnect_busy_s"], rel=1e-12
+        )
+        assert result.makespan_s == pytest.approx(expected["makespan_s"], rel=1e-12)
+        assert result.placement == expected["placement"]
+        # every task in the merged timeline is device-prefixed
+        assert all(
+            task.resource.partition(":")[0] in {"d0", "d1", "d2", "d3"}
+            for task in result.timeline.tasks
+        )
