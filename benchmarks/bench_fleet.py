@@ -1,6 +1,6 @@
 """Fleet-plane throughput, routing cost and busy-time accounting.
 
-Measures four things and writes them to ``BENCH_fleet.json``:
+Measures six things and writes them to ``BENCH_fleet.json``:
 
 * **fleet event rate** — scheduler events processed per second while the
   fleet plane serves a fixed Poisson session population across 1/2/4
@@ -19,7 +19,17 @@ Measures four things and writes them to ``BENCH_fleet.json``:
 * **busy-poll micro-bench** — ``PreemptiveResource.busy_s()`` polls per
   second at growing completed-job counts.  The poll is an O(1) accumulator
   read (it used to rescan every job ever submitted); the committed
-  near-flat rates across a 100x job-count range are the evidence.
+  near-flat rates across a 100x job-count range are the evidence;
+* **golden migration behaviour** — the seeded M=4 bursty fleet golden's
+  migration count and shipped bytes, per engine.  ``bench_scheduler.py
+  --gate`` re-runs this and requires *exact* equality with the committed
+  values, so steal/rebalance changes cannot silently alter migration
+  behaviour;
+* **stealing impact** — the imbalanced stuck-at-home population
+  (every session homed on device 0 with infinite migration patience)
+  served one-shot vs with work stealing vs with rebalancing sweeps: the
+  committed rows are the evidence that stealing strictly improves p99 on
+  an imbalanced seeded scenario.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke]
 
@@ -42,7 +52,7 @@ for entry in (REPO_ROOT / "src", REPO_ROOT):
 
 from repro.hw.event import EventLoop, PreemptiveResource  # noqa: E402
 from repro.hw.interconnect import PCIE5_SWITCH  # noqa: E402
-from repro.sim.arrivals import PoissonArrivals, rate_for_load  # noqa: E402
+from repro.sim.arrivals import BurstyArrivals, PoissonArrivals, rate_for_load  # noqa: E402
 from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
 from repro.sim.fleet import FleetConfig, FleetScheduler  # noqa: E402
 from repro.sim.scheduler import SchedulerConfig, ServingScheduler  # noqa: E402
@@ -173,6 +183,91 @@ def migration_traffic(num_streams: int, frames_per_stream: int) -> dict:
     }
 
 
+def _golden_workload():
+    """The seeded bursty population behind the M=4 fleet golden tests."""
+    system = edge_systems(default_llm_workload().model_bytes())["V-Rex8"]
+    plane = BatchLatencyModel()
+    profiles = [StreamProfile(kv_len=40_000, session_id=index) for index in range(8)]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    traces = BurstyArrivals.for_mean_rate(rate_for_load(1.3, solo, 8)).generate(
+        8, 8, seed=17
+    )
+    config = SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=4)
+    homes = {profile.session_id: 0 for profile in profiles}
+    return system, plane, profiles, traces, config, homes
+
+
+def golden_migrations(engine: str = "array") -> dict:
+    """Migration behaviour of the seeded M=4 fleet golden, one engine.
+
+    The CI gate (``bench_scheduler.py --gate``) holds the measured
+    migration count and shipped bytes to the committed values *exactly*:
+    a steal/rebalance change that perturbs one-shot routing shows up here
+    before any latency golden drifts.
+    """
+    system, plane, profiles, traces, config, homes = _golden_workload()
+    fleet = FleetScheduler(
+        plane,
+        config,
+        FleetConfig(
+            num_devices=4, router="least_loaded", interconnect=PCIE5_SWITCH, seed=17
+        ),
+        engine=engine,
+    )
+    result = fleet.run(system, profiles, traces, home_devices=homes)
+    return {
+        "engine": engine,
+        "migrations": result.migration_count,
+        "interconnect_bytes": result.interconnect_bytes,
+        "fleet_p99_ms": result.fleet_summary().p99_ms,
+        "placement": {str(k): v for k, v in sorted(result.placement.items())},
+    }
+
+
+def stealing_impact(engine: str = "array") -> dict:
+    """One-shot vs work stealing vs rebalancing on a stuck population.
+
+    Every session is homed on device 0 under ``kv_residency`` with
+    infinite migration patience — the one-shot router never leaves home,
+    so devices 1-3 idle while device 0 drowns.  The committed rows price
+    what mid-run movement buys back: stealing must *strictly* improve
+    p99 (the PR 9 acceptance criterion).
+    """
+    system, plane, profiles, traces, config, homes = _golden_workload()
+    patience = float("inf")
+    modes = {
+        "one_shot": {},
+        "steal": {"work_stealing": True},
+        "rebalance": {"rebalance_interval_s": 0.5},
+    }
+    rows = {}
+    for mode, knobs in modes.items():
+        fleet = FleetScheduler(
+            plane,
+            config,
+            FleetConfig(
+                num_devices=4,
+                router="kv_residency",
+                interconnect=PCIE5_SWITCH,
+                migrate_backlog_s=patience,
+                **knobs,
+            ),
+            engine=engine,
+        )
+        result = fleet.run(system, profiles, traces, home_devices=homes)
+        rows[mode] = {
+            "fleet_p99_ms": result.fleet_summary().p99_ms,
+            "served": result.served,
+            "dropped": result.dropped,
+            "migrations": result.migration_count,
+            "steals": result.steal_count,
+            "rebalances": result.rebalance_count,
+            "jobs_moved": result.jobs_moved,
+            "interconnect_bytes": result.interconnect_bytes,
+        }
+    return {"engine": engine, **rows}
+
+
 def busy_poll_rate(job_counts=(100, 1_000, 10_000), polls: int = 200_000) -> dict:
     """``busy_s()`` polls/sec after N completed jobs — flat if O(1).
 
@@ -269,6 +364,35 @@ def run(smoke: bool = False) -> dict:
         f"busy_s poll spread: {results['busy_poll']['max_over_min_ratio']:.2f}x "
         f"across job counts"
     )
+    results["golden"] = {
+        engine: golden_migrations(engine) for engine in ("reference", "array")
+    }
+    golden_arr = results["golden"]["array"]
+    print(
+        f"golden migrations (M=4, seed 17): {golden_arr['migrations']} migrations, "
+        f"{golden_arr['interconnect_bytes'] / 1e9:.1f} GB shipped"
+    )
+    assert results["golden"]["reference"] == {
+        **results["golden"]["array"],
+        "engine": "reference",
+    }, "engines disagree on the golden migration behaviour"
+    results["stealing"] = stealing_impact()
+    steal_rows = results["stealing"]
+    print(
+        f"stealing impact (stuck-at-home): one-shot p99 "
+        f"{steal_rows['one_shot']['fleet_p99_ms']:.0f} ms -> steal "
+        f"{steal_rows['steal']['fleet_p99_ms']:.0f} ms "
+        f"({steal_rows['steal']['steals']} steals, "
+        f"{steal_rows['steal']['interconnect_bytes'] / 1e9:.1f} GB), rebalance "
+        f"{steal_rows['rebalance']['fleet_p99_ms']:.0f} ms "
+        f"({steal_rows['rebalance']['rebalances']} moves)"
+    )
+    # the PR 9 acceptance criterion, asserted on every benchmark run
+    assert steal_rows["steal"]["steals"] > 0
+    assert (
+        steal_rows["steal"]["fleet_p99_ms"] < steal_rows["one_shot"]["fleet_p99_ms"]
+    ), "work stealing must strictly improve p99 on the imbalanced scenario"
+    assert steal_rows["one_shot"]["steals"] == 0
     if smoke:
         rows = results["fleet"]
         assert all(row["events_per_s"] > 0 for row in rows)

@@ -428,8 +428,33 @@ def gate() -> int:
         f"vs floor {floor:,.0f} (machine factor {machine:.2f}) "
         f"-> {'ok' if ok else 'FAIL'}"
     )
+    # fleet golden migration behaviour: the seeded M=4 run's migration
+    # count and shipped bytes are held to the committed values EXACTLY —
+    # a steal/rebalance change that perturbs one-shot routing fails here
+    # even if every latency stays plausible.  Behavioural, not timed, so
+    # no machine factor applies.
+    committed_golden = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())[
+        "golden"
+    ]
+    for engine in ("reference", "array"):
+        measured = bench_fleet.golden_migrations(engine)
+        base = committed_golden[engine]
+        ok = (
+            measured["migrations"] == base["migrations"]
+            and measured["interconnect_bytes"] == base["interconnect_bytes"]
+        )
+        failed |= not ok
+        print(
+            f"gate [fleet/golden/{engine}]: {measured['migrations']} migration(s), "
+            f"{measured['interconnect_bytes'] / 1e9:.2f} GB shipped vs committed "
+            f"{base['migrations']} / {base['interconnect_bytes'] / 1e9:.2f} GB "
+            f"-> {'ok' if ok else 'FAIL'}"
+        )
     if failed:
-        print("gate FAILED: array-engine events/s fell >30% below trajectory")
+        print(
+            "gate FAILED: array-engine events/s fell >30% below trajectory, "
+            "or the fleet golden's migration behaviour drifted"
+        )
         return 1
     print("gate ok")
     return 0

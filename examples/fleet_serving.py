@@ -15,8 +15,12 @@ End-to-end walkthrough of the fleet plane:
    the link, and the session's frames buffer until its shards land;
 4. compare routing policies on the homed population — load-blind
    round-robin ships almost everything, ``kv_residency`` keeps sessions
-   on their shards until the home backlog passes its patience — and read
-   the price of each choice in shipped gigabytes and tail milliseconds.
+   on their shards until the home's *live* backlog passes its patience —
+   and read the price of each choice in shipped gigabytes and tail
+   milliseconds;
+5. leave the stubborn infinite-patience fleet alone but turn on work
+   stealing: idle devices pull whole queued sessions off the loaded
+   home mid-run, paying the same shard-transfer price per move.
 
 Run with:  python examples/fleet_serving.py [num_streams]
 """
@@ -79,12 +83,15 @@ def main(num_streams: int = 12) -> None:
     # Rebalancing a loaded device: everyone lives on device 0; moving a
     # session means shipping its shard bytes across the interconnect.
     homes = {profile.session_id: 0 for profile in profiles}
-    session_work = solo * 11  # frames + question estimate
+    # Patience is measured against the home's *live* backlog (work still
+    # queued right now), so "eager" means a fraction of one solo frame
+    # sequence, not multiples of a whole session.
     rebalanced = []
-    for router, patience in (
-        ("round_robin", float("inf")),
-        ("kv_residency", float("inf")),
-        ("kv_residency", 1.0),
+    for router, patience_s, stealing in (
+        ("round_robin", float("inf"), False),
+        ("kv_residency", float("inf"), False),
+        ("kv_residency", 0.5 * solo, False),
+        ("kv_residency", float("inf"), True),
     ):
         fleet = FleetScheduler(
             plane,
@@ -93,7 +100,8 @@ def main(num_streams: int = 12) -> None:
                 num_devices=4,
                 router=router,
                 interconnect=PCIE5_SWITCH,
-                migrate_backlog_s=patience * session_work,
+                migrate_backlog_s=patience_s,
+                work_stealing=stealing,
             ),
         )
         rebalanced.append(fleet.run(system, profiles, traces, home_devices=homes))
@@ -104,12 +112,17 @@ def main(num_streams: int = 12) -> None:
             title="Rebalancing sessions homed on device 0 (PCIe5-switch interconnect)",
         )
     )
-    stubborn, eager = rebalanced[1], rebalanced[2]
+    stubborn, eager, stolen = rebalanced[1], rebalanced[2], rebalanced[3]
     print(
         f"\nkv_residency patience: infinite ships {stubborn.interconnect_bytes / 1e9:.1f} GB "
         f"(p99 {stubborn.fleet_summary().p99_ms:.0f} ms), "
         f"eager ships {eager.interconnect_bytes / 1e9:.1f} GB "
         f"(p99 {eager.fleet_summary().p99_ms:.0f} ms)"
+    )
+    print(
+        f"work stealing on the stubborn fleet: {stolen.steal_count} steals ship "
+        f"{stolen.interconnect_bytes / 1e9:.1f} GB, "
+        f"p99 {stolen.fleet_summary().p99_ms:.0f} ms"
     )
 
 

@@ -37,6 +37,11 @@ def fleet_rollup(result, percentiles=DEFAULT_PERCENTILES) -> dict[str, float]:
         "mean_ms": summary.mean_ms,
         "max_ms": summary.max_ms,
         "migrations": result.migration_count,
+        "placement_migrations": result.placement_migration_count,
+        "steals": result.steal_count,
+        "rebalances": result.rebalance_count,
+        "jobs_moved": result.jobs_moved,
+        "predicted_sheds": result.predicted_sheds,
         "interconnect_bytes": result.interconnect_bytes,
         "interconnect_busy_s": result.interconnect.busy_s(),
         "imbalance": imbalance,
@@ -77,6 +82,8 @@ def format_fleet_table(results, title: str | None = None) -> str:
         "p99 ms",
         "miss %",
         "migrations",
+        "steals",
+        "rebal",
         "GB moved",
         "imbalance",
     ]
@@ -93,6 +100,8 @@ def format_fleet_table(results, title: str | None = None) -> str:
                 f"{rollup['p99']:.2f}",
                 f"{100.0 * rollup['deadline_miss_rate']:.1f}",
                 int(rollup["migrations"]),
+                int(rollup["steals"]),
+                int(rollup["rebalances"]),
                 f"{rollup['interconnect_bytes'] / 1e9:.2f}",
                 "nan" if math.isnan(rollup["imbalance"]) else f"{rollup['imbalance']:.2f}",
             ]

@@ -14,13 +14,26 @@ Two enforcement layers for the contracts everything else relies on:
   resources, job table and sharded memory plane, raising a structured
   :class:`~repro.devtools.sanitizer.SanitizerError` carrying the event
   trace tail.
+* :mod:`repro.devtools.differential` — cross-engine differential
+  sanitization: run the same seeded workload under the reference and
+  array engines (each sanitized) and raise a
+  :class:`~repro.devtools.differential.DifferentialError` with a
+  field-level record diff if they disagree.
 """
 
+from repro.devtools.differential import (
+    DifferentialError,
+    assert_engines_agree,
+    diff_records,
+)
 from repro.devtools.sanitizer import SanitizerError, sanitize_enabled
 
 __all__ = [
+    "DifferentialError",
     "Finding",
     "SanitizerError",
+    "assert_engines_agree",
+    "diff_records",
     "lint_paths",
     "lint_source",
     "sanitize_enabled",

@@ -1,0 +1,133 @@
+"""Cross-engine differential sanitization.
+
+The stack ships two executions of every schedule: the dict-based
+reference event loop and the fused array engine.  The golden tests pin a
+handful of seeded runs to both; this module turns that spot check into a
+*differential sanitizer* — run the same seeded workload under both
+engines (each under the runtime sanitizer, so internal invariants are
+asserted on every event) and require the outputs to agree record for
+record.  On divergence the error does not just say "a golden drifted":
+it carries a field-level diff of the first records that disagree, so the
+mismatch points at the job and the field where the engines forked.
+
+Duck-typed over anything with a ``.records`` list of comparable entries
+(:class:`~repro.sim.scheduler.ScheduleResult`,
+:class:`~repro.sim.fleet.FleetResult`); ``events_processed`` is compared
+too when both sides expose it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.devtools.sanitizer import sanitize_enabled
+
+#: Engines every differential check runs, in comparison order.
+ENGINES = ("reference", "array")
+
+#: Maximum diverging records rendered into a :class:`DifferentialError`.
+DIFF_LIMIT = 8
+
+
+class DifferentialError(AssertionError):
+    """Two engines produced different outputs for the same seeded run."""
+
+    def __init__(self, message: str, diffs: list[str]):
+        self.diffs = tuple(diffs)
+        if diffs:
+            rendered = "\n".join(f"    {line}" for line in diffs)
+            message = f"{message}\nfirst diverging records:\n{rendered}"
+        super().__init__(message)
+
+
+def _record_fields(record) -> dict:
+    """A record's comparable fields (dataclass or attribute bag)."""
+    fields = getattr(record, "__dataclass_fields__", None)
+    if fields is not None:
+        return {name: getattr(record, name) for name in fields}
+    return {
+        name: getattr(record, name)
+        for name in dir(record)
+        if not name.startswith("_") and not callable(getattr(record, name))
+    }
+
+
+def diff_records(first, second, limit: int = DIFF_LIMIT) -> list[str]:
+    """Field-level diff of two record lists, empty when they agree.
+
+    Records are compared pairwise in order (both engines emit records in
+    completion order, so index ``i`` describes the same job on both
+    sides); each diverging pair contributes one line naming the index,
+    the job and every field that disagrees.  Floats are compared exactly
+    — the two engines promise bit-identical schedules, not approximately
+    similar ones.
+    """
+    diffs: list[str] = []
+    if len(first) != len(second):
+        diffs.append(f"record count: {len(first)} != {len(second)}")
+    for index, (a, b) in enumerate(zip(first, second, strict=False)):
+        if a == b:
+            continue
+        fields_a = _record_fields(a)
+        fields_b = _record_fields(b)
+        changed = sorted(
+            name
+            for name in fields_a.keys() | fields_b.keys()
+            if fields_a.get(name) != fields_b.get(name)
+        )
+        label = (
+            f"stream {fields_a.get('stream_index', '?')} "
+            f"{fields_a.get('kind', '?')}[{fields_a.get('job_index', '?')}]"
+        )
+        parts = ", ".join(
+            f"{name}: {fields_a.get(name)!r} != {fields_b.get(name)!r}"
+            for name in changed
+        )
+        diffs.append(f"record[{index}] ({label}): {parts}")
+        if len(diffs) >= limit:
+            diffs.append("... (diff truncated)")
+            break
+    return diffs
+
+
+def assert_engines_agree(
+    run: Callable[[str], object],
+    engines: tuple[str, ...] = ENGINES,
+    require_sanitizer: bool = True,
+) -> dict[str, object]:
+    """Run ``run(engine)`` per engine and require identical outputs.
+
+    ``run`` must be a deterministic closure over a seeded workload that
+    executes it under the named engine and returns the result object.
+    With ``require_sanitizer`` (the default) the check refuses to run
+    unsanitized — a differential pass is only as strong as the invariant
+    checks inside each run, so call this under ``REPRO_SANITIZE=1`` (or
+    after :func:`repro.devtools.sanitizer.arm`).
+
+    Returns the per-engine results keyed by engine name so callers can
+    keep asserting on either one.
+    """
+    if require_sanitizer and not sanitize_enabled():
+        raise RuntimeError(
+            "differential check requires the runtime sanitizer: set "
+            "REPRO_SANITIZE=1 (or call repro.devtools.sanitizer.arm()) "
+            "before assert_engines_agree, or pass require_sanitizer=False"
+        )
+    if len(engines) < 2:
+        raise ValueError(f"need at least two engines to diff, got {engines!r}")
+    results = {engine: run(engine) for engine in engines}
+    baseline_name = engines[0]
+    baseline = results[baseline_name]
+    for engine in engines[1:]:
+        candidate = results[engine]
+        diffs = diff_records(baseline.records, candidate.records)
+        base_events = getattr(baseline, "events_processed", None)
+        cand_events = getattr(candidate, "events_processed", None)
+        if base_events is not None and base_events != cand_events:
+            diffs.insert(0, f"events_processed: {base_events} != {cand_events}")
+        if diffs:
+            raise DifferentialError(
+                f"engines {baseline_name!r} and {engine!r} diverged",
+                diffs,
+            )
+    return results

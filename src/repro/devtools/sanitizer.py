@@ -41,6 +41,7 @@ broke, not just that a golden diverged later.
 from __future__ import annotations
 
 import os
+import sys
 from collections import deque
 
 #: Environment variable enabling the sanitizer (any value but ""/"0").
@@ -66,6 +67,33 @@ def sanitize_enabled() -> bool:
 def resolve(sanitize: bool | None) -> bool:
     """An explicit ``sanitize=`` flag, falling back to the environment."""
     return sanitize_enabled() if sanitize is None else bool(sanitize)
+
+
+def arm() -> None:
+    """Arm the sanitizer for the rest of the process.
+
+    Equivalent to launching under ``REPRO_SANITIZE=1``: every component
+    constructed afterwards with ``sanitize=None`` (the default) runs its
+    invariant checks.  Experiment drivers expose this as ``--sanitize``.
+    """
+    os.environ[ENV_VAR] = "1"
+
+
+def arm_from_argv(argv: list[str] | None = None, flag: str = "--sanitize") -> list[str]:
+    """Consume ``flag`` from an argv list, arming the sanitizer if present.
+
+    Returns the remaining arguments, so drivers with hand-rolled argument
+    handling can prepend this without an ``argparse`` migration::
+
+        def main(argv=None):
+            rest = arm_from_argv(argv)
+            ...
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    if flag in args:
+        arm()
+        args = [arg for arg in args if arg != flag]
+    return args
 
 
 class SanitizerError(AssertionError):

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     fig18_roofline,
     fig19_resv_ablation,
     fig20_retrieval_ratio,
+    fleet_serving,
     scheduled_serving,
     sharded_memory,
     table02_accuracy,
@@ -37,6 +38,7 @@ __all__ = [
     "fig18_roofline",
     "fig19_resv_ablation",
     "fig20_retrieval_ratio",
+    "fleet_serving",
     "scheduled_serving",
     "sharded_memory",
     "table02_accuracy",

@@ -25,10 +25,12 @@ so the single-device column doubles as the baseline.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.analysis.fleet import fleet_rollup
 from repro.analysis.reporting import format_table
+from repro.devtools.sanitizer import arm_from_argv
 from repro.hw.interconnect import PCIE5_SWITCH, InterconnectSpec
 from repro.sim.arrivals import PoissonArrivals, rate_for_load
 from repro.sim.batched import BatchLatencyModel, StreamProfile
@@ -188,27 +190,38 @@ def run_migration_sweep(
     ]
     points += [("kv_residency", patience) for patience in (float("inf"), 4.0, 1.0)]
     for router, patience in points:
-        fleet = FleetScheduler(
-            plane,
-            config,
-            FleetConfig(
-                num_devices=num_devices,
-                router=router,
-                interconnect=interconnect,
-                seed=seed,
-                migrate_backlog_s=patience * session_work,
-            ),
-        )
-        row = fleet_rollup(fleet.run(system, profiles, traces, home_devices=homes))
-        row["load"] = load
-        row["homed"] = True
-        row["patience"] = patience
-        result.rows.append(row)
+        for stealing in (False, True):
+            fleet = FleetScheduler(
+                plane,
+                config,
+                FleetConfig(
+                    num_devices=num_devices,
+                    router=router,
+                    interconnect=interconnect,
+                    seed=seed,
+                    migrate_backlog_s=patience * session_work,
+                    work_stealing=stealing,
+                ),
+            )
+            row = fleet_rollup(
+                fleet.run(system, profiles, traces, home_devices=homes)
+            )
+            row["load"] = load
+            row["homed"] = True
+            row["patience"] = patience
+            row["stealing"] = stealing
+            result.rows.append(row)
     return result
 
 
-def main() -> dict[str, FleetServingResult]:
-    """Print the device-count sweep and the migration-pricing sweep."""
+def main(argv: list[str] | None = None) -> dict[str, FleetServingResult]:
+    """Print the device-count sweep and the migration-pricing sweep.
+
+    ``--sanitize`` arms the runtime sanitizer for the whole sweep: every
+    event loop, resource and shard plane in every run asserts its
+    invariants (equivalent to launching under ``REPRO_SANITIZE=1``).
+    """
+    arm_from_argv(argv)
     scaling = run()
     rows = [
         [
@@ -246,7 +259,9 @@ def main() -> dict[str, FleetServingResult]:
         [
             row["router"],
             "-" if row["router"] != "kv_residency" else f"{row['patience']:g}",
+            "steal" if row["stealing"] else "one-shot",
             int(row["migrations"]),
+            int(row["steals"]),
             f"{row['interconnect_bytes'] / 1e9:.2f}",
             f"{row['p50']:.2f}",
             f"{row['p99']:.2f}",
@@ -257,13 +272,35 @@ def main() -> dict[str, FleetServingResult]:
     print()
     print(
         format_table(
-            ["router", "patience", "migrations", "GB shipped", "p50 ms", "p99 ms", "miss %"],
+            [
+                "router",
+                "patience",
+                "mode",
+                "migrations",
+                "steals",
+                "GB shipped",
+                "p50 ms",
+                "p99 ms",
+                "miss %",
+            ],
             rows,
             title=(
                 f"Migration pricing — all sessions homed on device 0, "
-                f"{migration.interconnect} interconnect"
+                f"{migration.interconnect} interconnect, one-shot vs work stealing"
             ),
         )
+    )
+    stuck = [
+        row
+        for row in migration.rows
+        if row["router"] == "kv_residency" and math.isinf(row["patience"])
+    ]
+    one_shot_p99 = next(r["p99"] for r in stuck if not r["stealing"])
+    steal_p99 = next(r["p99"] for r in stuck if r["stealing"])
+    print(
+        f"\nwork stealing on the stuck-at-home population "
+        f"(kv_residency, infinite patience): p99 "
+        f"{one_shot_p99:.2f} ms -> {steal_p99:.2f} ms"
     )
     return {"scaling": scaling, "migration": migration}
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table
+from repro.devtools.sanitizer import arm_from_argv
 from repro.sim.arrivals import (
     BurstyArrivals,
     DeterministicArrivals,
@@ -245,8 +246,13 @@ def run_quantum_sweep(
     return result
 
 
-def main() -> dict[str, ScheduledServingResult]:
-    """Print the sweep for the two edge systems the contention story needs."""
+def main(argv: list[str] | None = None) -> dict[str, ScheduledServingResult]:
+    """Print the sweep for the two edge systems the contention story needs.
+
+    ``--sanitize`` arms the runtime sanitizer for the whole sweep
+    (equivalent to launching under ``REPRO_SANITIZE=1``).
+    """
+    arm_from_argv(argv)
     systems = edge_systems(default_llm_workload().model_bytes())
     results: dict[str, ScheduledServingResult] = {}
     for name in ("V-Rex8", "AGX + FlexGen"):

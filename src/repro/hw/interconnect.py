@@ -129,6 +129,7 @@ class InterconnectLink(ResourceQueue):
         self.total_bytes = 0.0
         self.num_transfers = 0
         self._busy_total_s = 0.0
+        self._order_floor_s = 0.0
 
     def ship(
         self,
@@ -137,9 +138,22 @@ class InterconnectLink(ResourceQueue):
         session_id: int = -1,
         src_device: int = -1,
         dst_device: int = -1,
+        not_before_s: float = 0.0,
     ) -> ShardTransfer:
-        """Admit one session's shard transfer; returns its scheduled trip."""
-        service = self.enqueue(arrival_s, self.spec.transfer_time_s(num_bytes))
+        """Admit one session's shard transfer; returns its scheduled trip.
+
+        ``not_before_s`` pins the transfer's release (shards still being
+        written on the source device cannot leave before they exist).
+        Concurrent transfers keep **ship order**: a pinned transfer
+        head-of-line blocks every transfer decided after it, so the link
+        serves migrations in exactly the order the router decided them —
+        no transfer overtakes an earlier decision, and the FCFS
+        arrival-order invariant the sanitizer enforces holds by
+        construction.
+        """
+        release_s = max(arrival_s, not_before_s, self._order_floor_s)
+        self._order_floor_s = release_s
+        service = self.enqueue(release_s, self.spec.transfer_time_s(num_bytes))
         transfer = ShardTransfer(
             session_id=session_id,
             src_device=src_device,
@@ -157,6 +171,15 @@ class InterconnectLink(ResourceQueue):
     def busy_s(self) -> float:
         """Seconds the link has spent moving shards (O(1), any ``record``)."""
         return self._busy_total_s
+
+    def backlog_s(self, now_s: float) -> float:
+        """Transfer work still queued on the link at ``now_s`` (O(1)).
+
+        The FCFS analogue of :meth:`FleetDevice.backlog_s` — a steal
+        planner may poll it per decision to see how congested the fabric
+        already is before committing another migration.
+        """
+        return max(0.0, self._free_at - now_s)
 
     def assert_conserved(self) -> None:
         """Sanitizer check: accumulators telescope to the retained transfers.

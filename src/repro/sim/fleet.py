@@ -7,10 +7,12 @@ plane's :class:`~repro.hw.memory.sharding.ShardedKVHierarchy` per device,
 exactly as a single-device run would build) — joined by a priced
 inter-device link (:class:`~repro.hw.interconnect.InterconnectLink`), with
 a front-end router that *places* each session on a device as its first
-job arrives.
+job arrives and — when enabled — re-homes sessions mid-run by work
+stealing and periodic rebalancing sweeps.
 
-**Routing policies.**  The router processes sessions in arrival order
-(ties broken by the schedulers' ``(session_id, stream)`` event key):
+**Routing policies.**  The router processes job arrivals in event order
+(ties broken by the schedulers' ``(session_id, stream)`` event key) and
+routes each session at its first arrival:
 
 * ``round_robin`` — the k-th arriving session lands on device ``k % M``;
   placement depends only on the arrival order of sessions, never on the
@@ -19,37 +21,74 @@ job arrives.
   :meth:`FleetDevice.backlog_s` estimate at decision time (the FCFS
   work-estimate analogue of the single-device admission controller's
   compute backlog);
-* ``power_of_two`` — classic power-of-two-choices: two candidate devices
-  drawn from a seeded RNG, the less loaded wins (ties to the lower
-  index);
+* ``power_of_two`` — classic power-of-two-choices: two *distinct*
+  candidate devices drawn from a seeded RNG, the less loaded wins (ties
+  to the lower index, so the decision is deterministic given the seed);
 * ``kv_residency`` — sessions stay on their **home** device (where their
   KV shards already live) unless its backlog exceeds
   ``migrate_backlog_s``; only then does the session move to the least
   loaded device.  Sessions without a home fall back to ``least_loaded``.
 
-**Migration pricing.**  A session placed *off* its home device must ship
-its whole shard footprint — hot window, offloaded KV shards, HC-table
-signatures, the exact bytes :meth:`BatchLatencyModel.session_shard_bytes`
-says registration installs — across the interconnect, FCFS behind other
-migrations.  The session's frames buffer at the router until the transfer
-lands: its arrival trace is clamped to the transfer finish time before
-the device ever sees it.  Fleet-level percentiles still measure sojourns
-from the *original* upload times, so migration delay is charged to the
-migrated session's latency, not hidden.
+**Live backlog accounting.**  :class:`FleetDevice` is a job-level FCFS
+work estimator: each routed job enters the device's virtual server at its
+own (clamp-adjusted) arrival and drains at its estimated completion, so
+:meth:`FleetDevice.backlog_s` tracks the *remaining* estimated work — the
+fleet analogue of :meth:`~repro.hw.event.PreemptiveResource.backlog_s`,
+which property-pins it in the single-server case.  Jobs the device-side
+admission controller would shed (queue-depth drops, residency deferrals)
+are predicted at routing time and their work is credited back instead of
+accumulating forever.  (The previous estimator charged a session's whole
+solo work at first arrival and never released any of it, so
+``least_loaded``/``power_of_two``/``kv_residency`` decisions drifted from
+the true device load as a run progressed.)
+
+**Work stealing.**  With ``work_stealing`` on, a device that drains its
+estimated backlog pulls the deepest-queued session — the one with the
+most unstarted estimated work — from the most-backlogged device, provided
+that victim's backlog exceeds ``steal_backlog_s``.  The stolen session's
+unstarted jobs re-home to the thief; its in-service job finishes where it
+started.  Every steal ships the session's full shard footprint across the
+interconnect (see below), and the stolen jobs cannot start on the thief
+before the transfer lands.  Stealing is provably inert when there is
+nowhere to steal from: one device has no distinct victim, a session
+mid-transfer is never re-stolen, and symmetric backlogs never exceed a
+strictly-positive threshold gap.
+
+**Rebalancing sweeps.**  With a finite ``rebalance_interval_s``, the
+router additionally sweeps every ``rebalance_interval_s`` seconds and
+re-homes any session whose current device's backlog exceeds the
+least-loaded device's by more than ``rebalance_hysteresis_s`` — the
+periodic, hysteresis-damped complement to the purely reactive steal path.
+
+**Migration pricing.**  A session placed *off* its home device — at
+placement, by a steal, or by a sweep — must ship its whole shard
+footprint — hot window, offloaded KV shards, HC-table signatures, the
+exact bytes :meth:`BatchLatencyModel.session_shard_bytes` says
+registration installs — across the interconnect, FCFS behind other
+migrations (transfers keep ship order; a pinned transfer head-of-line
+blocks later decisions).  The session's re-homed jobs buffer at the
+router until the transfer lands: their arrivals are clamped to the
+transfer finish time before the device ever sees them.  Fleet-level
+percentiles still measure sojourns from the *original* upload times, so
+migration delay is charged to the migrated session's latency, not hidden.
 
 **M=1 guarantee.**  A single-device fleet over the free interconnect
 routes every session to device 0 with no migration, no clamping, no RNG
 draw and no work estimation — the one device run *is* a plain
 :class:`~repro.sim.scheduler.ServingScheduler` run, bit for bit (records,
-timeline, summaries, event count), under both engines.  The fleet
-equivalence suite pins it.
+timeline, summaries, event count), under both engines and regardless of
+the steal/rebalance knobs (with one device there is never a distinct
+victim).  The fleet equivalence suite pins it.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from collections.abc import Sequence
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from heapq import heappop, heappush
+from itertools import count
 
 import numpy as np
 
@@ -73,6 +112,19 @@ from repro.sim.systems import SystemConfig
 #: Session-placement policies of the fleet router.
 ROUTER_POLICIES = ("round_robin", "least_loaded", "power_of_two", "kv_residency")
 
+#: :attr:`MigrationRecord.reason` values: shipped at first placement, by a
+#: work steal, or by a rebalancing sweep.
+MIGRATE_PLACEMENT = "placement"
+MIGRATE_STEAL = "steal"
+MIGRATE_REBALANCE = "rebalance"
+MIGRATION_REASONS = (MIGRATE_PLACEMENT, MIGRATE_STEAL, MIGRATE_REBALANCE)
+
+# routing-pass event types, in same-timestamp processing order: job
+# arrivals route first, then idle devices steal, then the sweep runs
+_EV_JOB = 0
+_EV_IDLE = 1
+_EV_SWEEP = 2
+
 
 def validate_router_policy(router: str) -> str:
     """Return ``router`` or raise for a policy the fleet lacks."""
@@ -92,6 +144,16 @@ class FleetConfig:
     of the arrival order).  ``migrate_backlog_s`` is the ``kv_residency``
     policy's patience: a session leaves its home device only when the
     home backlog estimate exceeds it (``inf`` never migrates).
+
+    ``work_stealing`` arms the reactive steal path: a device whose
+    estimated backlog drains to zero pulls the deepest-queued session
+    from the most-backlogged device, but only while that victim's backlog
+    exceeds ``steal_backlog_s`` (raise it to damp stealing; ``inf``
+    disables it as surely as ``work_stealing=False``).  A finite
+    ``rebalance_interval_s`` arms periodic sweeps that re-home any
+    session whose current-vs-best backlog gap exceeds
+    ``rebalance_hysteresis_s``.  Both paths pay the full shard transfer
+    per move and are structurally inert at ``num_devices == 1``.
     """
 
     num_devices: int = 1
@@ -99,6 +161,10 @@ class FleetConfig:
     interconnect: InterconnectSpec = FREE_INTERCONNECT
     seed: int = 0
     migrate_backlog_s: float = math.inf
+    work_stealing: bool = False
+    steal_backlog_s: float = 0.0
+    rebalance_interval_s: float = math.inf
+    rebalance_hysteresis_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -108,11 +174,32 @@ class FleetConfig:
             raise ValueError(
                 f"migrate_backlog_s must be non-negative, got {self.migrate_backlog_s}"
             )
+        if self.steal_backlog_s < 0:
+            raise ValueError(
+                f"steal_backlog_s must be non-negative, got {self.steal_backlog_s}"
+            )
+        if not self.rebalance_interval_s > 0:
+            raise ValueError(
+                "rebalance_interval_s must be positive (inf disables sweeps), "
+                f"got {self.rebalance_interval_s}"
+            )
+        if self.rebalance_hysteresis_s < 0:
+            raise ValueError(
+                "rebalance_hysteresis_s must be non-negative, "
+                f"got {self.rebalance_hysteresis_s}"
+            )
 
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """One session shipped off its home device at placement time."""
+    """One session's shard footprint shipped between devices.
+
+    ``reason`` says why (:data:`MIGRATION_REASONS`): placed off its home
+    at first arrival, pulled by an idle device's work steal, or re-homed
+    by a rebalancing sweep.  ``jobs_moved`` counts the queued job
+    estimates that re-homed with the shards — zero for placement
+    migrations, where the whole session moves before any job runs.
+    """
 
     session_id: int
     stream_index: int
@@ -122,6 +209,8 @@ class MigrationRecord:
     decision_s: float
     start_s: float
     finish_s: float
+    reason: str = MIGRATE_PLACEMENT
+    jobs_moved: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -130,38 +219,168 @@ class MigrationRecord:
 
     @property
     def delay_s(self) -> float:
-        """Arrival clamp the migrated session's first jobs suffered."""
+        """Arrival clamp the migrated session's re-homed jobs suffered."""
         return self.finish_s - self.decision_s
 
 
-class FleetDevice:
-    """Router-visible load state of one device.
+class _EstimatedJob:
+    """One routed job inside a device's virtual FCFS server."""
 
-    The router cannot see inside a device's future schedule (the per-device
-    runs happen after placement), so it keeps the classic FCFS estimator:
-    placing a session advances ``busy_until`` by the session's estimated
-    solo work, and :meth:`backlog_s` reads the unfinished remainder — the
-    fleet analogue of :meth:`PreemptiveResource.backlog_s`, O(1) per poll.
+    __slots__ = ("session", "stream", "kind", "index", "work_s", "release_s", "start_s", "finish_s")
+
+    def __init__(
+        self,
+        session: int,
+        stream: int,
+        kind: str,
+        index: int,
+        work_s: float,
+        release_s: float,
+        start_s: float,
+    ):
+        self.session = session
+        self.stream = stream
+        self.kind = kind
+        self.index = index
+        self.work_s = work_s
+        #: earliest the job could start (arrival, clamped to any shard
+        #: transfer still in flight when it was routed here)
+        self.release_s = release_s
+        self.start_s = start_s
+        self.finish_s = start_s + work_s
+
+
+class FleetDevice:
+    """Router-visible load state of one device: a virtual FCFS server.
+
+    The router cannot see inside a device's future schedule (the
+    per-device runs happen after routing), so it simulates the device as
+    a single FCFS server over the jobs it has routed there: each job
+    enters at its release time (arrival, clamped to any in-flight shard
+    transfer), runs for its estimated solo work, and *leaves* at its
+    estimated completion.  :meth:`backlog_s` reads the unfinished
+    remainder — the fleet analogue of
+    :meth:`~repro.hw.event.PreemptiveResource.backlog_s` (remaining work
+    in a work-conserving single server is discipline-invariant, which is
+    exactly what the property suite pins).
+
+    This is the fix for the stale-accounting defect: the old estimator
+    charged a session's entire solo work at first arrival and never
+    credited any of it back, so a device that dropped, deferred or simply
+    finished its work looked permanently busy to the router.  Here work
+    drains as estimated jobs complete, predicted admission sheds are
+    never charged (see :meth:`FleetScheduler._predicted_shed`), and
+    :meth:`remove_unstarted` hands a stolen session's queued work back —
+    the three paths that keep ``backlog_s`` live.
+
+    Jobs serve in routing order: a job released while an earlier-routed
+    transfer-pinned job still waits queues behind it, mirroring the
+    interconnect's no-overtake ship discipline.
     """
 
-    __slots__ = ("index", "streams", "sessions", "busy_until_s")
+    __slots__ = ("index", "busy_until_s", "queue", "_pending_jobs")
 
     def __init__(self, index: int):
         self.index = index
-        self.streams: list[int] = []
-        self.sessions: list[int] = []
         self.busy_until_s = 0.0
+        #: unfinished estimated jobs, FIFO in routing order
+        self.queue: deque[_EstimatedJob] = deque()
+        self._pending_jobs: dict[int, int] = {}
+
+    def advance(self, now_s: float) -> None:
+        """Retire every estimated job that completes by ``now_s``."""
+        queue = self.queue
+        pending = self._pending_jobs
+        while queue and queue[0].finish_s <= now_s:
+            job = queue.popleft()
+            remaining = pending[job.session] - 1
+            if remaining:
+                pending[job.session] = remaining
+            else:
+                del pending[job.session]
 
     def backlog_s(self, now_s: float) -> float:
         """Estimated unserved work queued on this device at ``now_s``."""
+        self.advance(now_s)
         return max(0.0, self.busy_until_s - now_s)
 
-    def place(self, stream: int, session_id: int, t_s: float, work_s: float) -> None:
-        """Assign one session; its work extends the busy horizon FCFS."""
-        self.streams.append(stream)
-        self.sessions.append(session_id)
-        if math.isfinite(t_s):
-            self.busy_until_s = max(self.busy_until_s, t_s) + work_s
+    def add_job(
+        self,
+        session: int,
+        stream: int,
+        kind: str,
+        index: int,
+        release_s: float,
+        work_s: float,
+    ) -> None:
+        """Route one job here; it joins the virtual server FCFS.
+
+        Deliberately does *not* advance the clock: a transfer-pinned job
+        releases in the future, and advancing to its release would
+        prematurely retire other sessions' still-running jobs from the
+        pending/steal bookkeeping.  Retirement stays lazy, driven by the
+        query methods' actual ``now``.
+        """
+        start_s = max(self.busy_until_s, release_s)
+        job = _EstimatedJob(session, stream, kind, index, work_s, release_s, start_s)
+        self.busy_until_s = job.finish_s
+        self.queue.append(job)
+        self._pending_jobs[session] = self._pending_jobs.get(session, 0) + 1
+
+    def pending_jobs(self, session: int) -> int:
+        """Unfinished estimated jobs of ``session`` on this device."""
+        return self._pending_jobs.get(session, 0)
+
+    def unstarted_by_session(self, now_s: float) -> dict[int, float]:
+        """Unstarted estimated work per session at ``now_s`` (movable mass)."""
+        self.advance(now_s)
+        totals: dict[int, float] = {}
+        for job in self.queue:
+            if job.start_s > now_s:
+                totals[job.session] = totals.get(job.session, 0.0) + job.work_s
+        return totals
+
+    def unstarted_s(self, session: int, now_s: float) -> float:
+        """Unstarted estimated work of one session at ``now_s``."""
+        self.advance(now_s)
+        total = 0.0
+        for job in self.queue:
+            if job.session == session and job.start_s > now_s:
+                total += job.work_s
+        return total
+
+    def remove_unstarted(self, session: int, now_s: float) -> list[_EstimatedJob]:
+        """Hand back the session's unstarted jobs; compact the server.
+
+        The in-service job (there is at most one: starts are
+        nondecreasing in FIFO order) finishes where it is; every job
+        behind the removed ones re-schedules at
+        ``max(release, previous finish)``, so the credit is exact — the
+        device's horizon contracts by precisely the removed work minus
+        any idle gaps the removal opens.
+        """
+        self.advance(now_s)
+        removed: list[_EstimatedJob] = []
+        kept: deque[_EstimatedJob] = deque()
+        finish_prev = now_s
+        for job in self.queue:
+            if job.session == session and job.start_s > now_s:
+                removed.append(job)
+                continue
+            if job.start_s > now_s:
+                job.start_s = max(job.release_s, finish_prev)
+                job.finish_s = job.start_s + job.work_s
+            finish_prev = job.finish_s
+            kept.append(job)
+        if removed:
+            self.queue = kept
+            self.busy_until_s = finish_prev
+            remaining = self._pending_jobs[session] - len(removed)
+            if remaining:
+                self._pending_jobs[session] = remaining
+            else:
+                del self._pending_jobs[session]
+        return removed
 
 
 @dataclass
@@ -177,6 +396,28 @@ class DeviceRun:
     @property
     def num_streams(self) -> int:
         return len(self.stream_indices)
+
+
+@dataclass
+class _RoutingPlan:
+    """Everything the routing pass decided, per job."""
+
+    devices: list[FleetDevice]
+    link: InterconnectLink
+    migrations: list[MigrationRecord]
+    #: session id → final device (where its shards ended up)
+    current: dict[int, int]
+    #: per stream: device index per frame (-1 unrouted), and the shard
+    #: transfer finish each frame's arrival clamps to (0.0 unclamped)
+    frame_device: list[np.ndarray]
+    frame_ready: list[np.ndarray]
+    question_device: list[int]
+    question_ready: list[float]
+    #: streams with no jobs at all, placed for registration only
+    idle_placement: dict[int, int] = field(default_factory=dict)
+    #: jobs the router predicted the device admission controller would
+    #: shed (their work was credited back, never charged)
+    predicted_sheds: int = 0
 
 
 class FleetResult:
@@ -201,20 +442,24 @@ class FleetResult:
         migrations: list[MigrationRecord],
         interconnect: InterconnectLink,
         adjusted_records: dict[int, list[JobRecord]],
+        predicted_sheds: int = 0,
     ):
         self.system = system
         self.config = config
         self.fleet = fleet
         self.devices = devices
-        #: session id → device index (feed back as ``home_devices`` to keep
-        #: sessions resident across successive runs)
+        #: session id → device index holding its shards at run end (feed
+        #: back as ``home_devices`` to keep sessions resident across runs)
         self.placement = placement
-        #: global stream index → device index
+        #: global stream index → device index its session ended on
         self.stream_devices = stream_devices
         self.migrations = migrations
         self.interconnect = interconnect
+        #: jobs the router predicted would be shed and credited back —
+        #: compare against :attr:`dropped` to audit the estimator
+        self.predicted_sheds = predicted_sheds
         #: device index → records remapped to global stream indices with
-        #: migrated sessions' arrivals restored (identity for one device)
+        #: re-homed jobs' arrivals restored (identity for one device)
         self._adjusted = adjusted_records
         self._records: list[JobRecord] | None = None
 
@@ -227,8 +472,28 @@ class FleetResult:
 
     @property
     def migration_count(self) -> int:
-        """Sessions placed off their home device (shards shipped)."""
+        """Shard transfers shipped, whatever the reason."""
         return len(self.migrations)
+
+    @property
+    def placement_migration_count(self) -> int:
+        """Sessions placed off their home device at first arrival."""
+        return sum(1 for m in self.migrations if m.reason == MIGRATE_PLACEMENT)
+
+    @property
+    def steal_count(self) -> int:
+        """Sessions pulled by an idle device's work steal."""
+        return sum(1 for m in self.migrations if m.reason == MIGRATE_STEAL)
+
+    @property
+    def rebalance_count(self) -> int:
+        """Sessions re-homed by a rebalancing sweep."""
+        return sum(1 for m in self.migrations if m.reason == MIGRATE_REBALANCE)
+
+    @property
+    def jobs_moved(self) -> int:
+        """Queued job estimates re-homed by steals and sweeps."""
+        return sum(m.jobs_moved for m in self.migrations)
 
     @property
     def interconnect_bytes(self) -> float:
@@ -247,10 +512,10 @@ class FleetResult:
     def records(self) -> list[JobRecord]:
         """All devices' records merged, sorted by (finish, stream, index).
 
-        Stream indices are global; migrated sessions' frame/question
-        arrivals are the original upload times (their sojourns include
-        the migration delay).  With one device this is the device's
-        record list unchanged.
+        Stream indices are global; re-homed jobs' frame/question arrivals
+        are the original upload times (their sojourns include the
+        migration delay).  With one device this is the device's record
+        list unchanged.
         """
         if self._records is None:
             if len(self.devices) == 1 and self.devices[0].schedule is not None:
@@ -372,13 +637,15 @@ class FleetScheduler:
         answer_tokens: int | Sequence[int] | None = None,
         home_devices: dict[int, int] | None = None,
     ) -> FleetResult:
-        """Place every session, ship migrations, run each device, merge.
+        """Route every job, ship migrations, run each device, merge.
 
         ``home_devices`` maps session ids to the device already holding
         their shards (e.g. the previous run's :attr:`FleetResult.placement`);
         sessions without an entry are new — placing them anywhere is free.
-        A session placed off its home ships its shard bytes across the
-        interconnect and its arrivals clamp to the transfer finish.
+        A session re-homed off its shard-holding device (at placement, by
+        a steal, or by a sweep) ships its shard bytes across the
+        interconnect and its re-homed jobs' arrivals clamp to the
+        transfer finish.
         """
         profiles = list(profiles)
         if not profiles:
@@ -407,78 +674,12 @@ class FleetScheduler:
         )
         homes = self._validated_homes(home_devices, profiles)
 
-        # ---------------- routing pass (arrival order) ----------------- #
-        link = InterconnectLink(fleet.interconnect)
-        devices = [FleetDevice(d) for d in range(num_devices)]
-        migrations: list[MigrationRecord] = []
-        ready_at = [0.0] * num_streams
-        placement: dict[int, int] = {}
-        stream_devices = [0] * num_streams
-
-        order = sorted(
-            range(num_streams),
-            key=lambda s: (
-                self._first_arrival(traces[s], q_arrivals[s]),
-                (profiles[s].session_id, s),
-            ),
-        )
-        need_estimates = num_devices > 1 and fleet.router != "round_robin"
-        rng = (
-            np.random.default_rng(fleet.seed)
-            if num_devices > 1 and fleet.router == "power_of_two"
-            else None
-        )
-        rr_next = 0
-        for s in order:
-            profile = profiles[s]
-            session = profile.session_id
-            t = self._first_arrival(traces[s], q_arrivals[s])
-            has_jobs = math.isfinite(t)
-            home = homes.get(session)
-            if num_devices == 1:
-                d = 0
-            elif not has_jobs:
-                # an idle session only needs a home for its registration
-                d = home if home is not None else rr_next % num_devices
-            else:
-                d = self._choose(fleet, devices, rng, rr_next, t, home)
-            if fleet.router == "round_robin" or (not has_jobs and home is None):
-                rr_next += 1
-            work_s = (
-                self._estimated_work_s(system, profile, traces[s], q_arrivals[s], answers[s])
-                if need_estimates and has_jobs
-                else 0.0
-            )
-            devices[d].place(s, session, t, work_s)
-            placement[session] = d
-            stream_devices[s] = d
-            if home is not None and d != home and has_jobs:
-                shards = self.plane.session_shard_bytes(system, profile)
-                transfer = link.ship(
-                    t,
-                    shards.total_bytes,
-                    session_id=session,
-                    src_device=home,
-                    dst_device=d,
-                )
-                ready_at[s] = transfer.finish_s
-                migrations.append(
-                    MigrationRecord(
-                        session_id=session,
-                        stream_index=s,
-                        src_device=home,
-                        dst_device=d,
-                        num_bytes=shards.total_bytes,
-                        decision_s=t,
-                        start_s=transfer.start_s,
-                        finish_s=transfer.finish_s,
-                    )
-                )
+        plan = self._route(system, profiles, traces, q_arrivals, answers, homes)
 
         # ---------------- per-device runs (original order) ------------- #
         runs: list[DeviceRun] = []
         adjusted: dict[int, list[JobRecord]] = {}
-        if num_devices == 1 and not migrations:
+        if num_devices == 1 and not plan.migrations:
             schedule = self.scheduler.run(
                 system,
                 profiles,
@@ -489,40 +690,67 @@ class FleetScheduler:
             )
             runs.append(DeviceRun(0, list(range(num_streams)), schedule))
         else:
-            for device in devices:
-                streams_d = sorted(device.streams)
+            # per device: global stream → original indices of its frames
+            members: list[dict[int, np.ndarray]] = [{} for _ in range(num_devices)]
+            for s in range(num_streams):
+                frame_dev = plan.frame_device[s]
+                if frame_dev.size:
+                    for d in np.unique(frame_dev):
+                        members[int(d)][s] = np.nonzero(frame_dev == d)[0]
+                qd = plan.question_device[s]
+                if qd >= 0 and s not in members[qd]:
+                    members[qd][s] = np.empty(0, dtype=np.intp)
+            for s in sorted(plan.idle_placement):
+                d = plan.idle_placement[s]
+                if s not in members[d]:
+                    members[d][s] = np.empty(0, dtype=np.intp)
+            for device in plan.devices:
+                by_stream = members[device.index]
+                streams_d = sorted(by_stream)
                 if not streams_d:
                     runs.append(DeviceRun(device.index, [], None))
                     continue
+                frame_maps = [by_stream[s] for s in streams_d]
                 sub_traces = []
                 sub_q: list[float | None] = []
-                for s in streams_d:
-                    ready = ready_at[s]
-                    if ready > 0.0:
-                        sub_traces.append(np.maximum(traces[s], ready))
+                sub_answers: list[int] = []
+                sub_qtok: list[int | None] = []
+                for s, idxs in zip(streams_d, frame_maps):
+                    sub_traces.append(
+                        np.maximum(traces[s][idxs], plan.frame_ready[s][idxs])
+                    )
+                    has_q = plan.question_device[s] == device.index
+                    if has_q:
                         at = q_arrivals[s]
-                        sub_q.append(at if at is None else max(at, ready))
+                        sub_q.append(max(float(at), plan.question_ready[s]))
+                        sub_answers.append(answers[s])
+                        sub_qtok.append(q_tokens[s])
                     else:
-                        sub_traces.append(traces[s])
-                        sub_q.append(q_arrivals[s])
+                        sub_q.append(None)
+                        sub_answers.append(0)
+                        sub_qtok.append(None)
                 schedule = self.scheduler.run(
                     system,
                     [profiles[s] for s in streams_d],
                     sub_traces,
                     question_arrivals=sub_q,
-                    question_tokens=[q_tokens[s] for s in streams_d]
-                    if question_tokens is not None
-                    else None,
-                    answer_tokens=[answers[s] for s in streams_d],
+                    question_tokens=sub_qtok if question_tokens is not None else None,
+                    answer_tokens=sub_answers,
                 )
                 runs.append(DeviceRun(device.index, streams_d, schedule))
                 adjusted[device.index] = self._globalized_records(
-                    schedule, streams_d, traces, q_arrivals, ready_at
+                    schedule, streams_d, frame_maps, traces, q_arrivals
                 )
 
         if sanitize_enabled():
-            link.assert_conserved()
+            plan.link.assert_conserved()
 
+        stream_devices = [
+            plan.current[profiles[s].session_id] for s in range(num_streams)
+        ]
+        placement = {
+            profiles[s].session_id: stream_devices[s] for s in range(num_streams)
+        }
         return FleetResult(
             system=system.name,
             config=self.config,
@@ -530,22 +758,348 @@ class FleetScheduler:
             devices=runs,
             placement=placement,
             stream_devices=stream_devices,
-            migrations=migrations,
-            interconnect=link,
+            migrations=plan.migrations,
+            interconnect=plan.link,
             adjusted_records=adjusted,
+            predicted_sheds=plan.predicted_sheds,
         )
+
+    # ------------------------------------------------------------------ #
+    # the routing pass
+    # ------------------------------------------------------------------ #
+    def _route(
+        self,
+        system: SystemConfig,
+        profiles: list[StreamProfile],
+        traces: list[np.ndarray],
+        q_arrivals: list[float | None],
+        answers: list[int],
+        homes: dict[int, int],
+    ) -> _RoutingPlan:
+        """Simulate the router: per-job placement, steals, sweeps.
+
+        A three-priority event loop over estimated time: job arrivals
+        route (and feed the device estimators), idle-device wakeups run
+        the steal check, and sweep ticks run the rebalancer.  Ties at one
+        timestamp process arrivals first, then steals by device index,
+        then the sweep — all deterministic.
+        """
+        fleet = self.fleet
+        config = self.config
+        num_streams = len(profiles)
+        num_devices = fleet.num_devices
+        stealing = fleet.work_stealing and num_devices > 1
+        sweeping = num_devices > 1 and math.isfinite(fleet.rebalance_interval_s)
+        need_estimates = num_devices > 1 and (
+            fleet.router != "round_robin" or stealing or sweeping
+        )
+        rng = (
+            np.random.default_rng(fleet.seed)
+            if num_devices > 1 and fleet.router == "power_of_two"
+            else None
+        )
+
+        link = InterconnectLink(fleet.interconnect)
+        devices = [FleetDevice(d) for d in range(num_devices)]
+        migrations: list[MigrationRecord] = []
+        plan = _RoutingPlan(
+            devices=devices,
+            link=link,
+            migrations=migrations,
+            current={},
+            frame_device=[
+                np.full(trace.size, -1, dtype=np.intp) for trace in traces
+            ],
+            frame_ready=[np.zeros(trace.size) for trace in traces],
+            question_device=[-1] * num_streams,
+            question_ready=[0.0] * num_streams,
+        )
+        current = plan.current
+        profile_of = {profiles[s].session_id: profiles[s] for s in range(num_streams)}
+        stream_of = {profiles[s].session_id: s for s in range(num_streams)}
+        session_ready: dict[int, float] = {}
+        last_move: dict[int, float] = {}
+        rr_next = 0
+
+        # per-stream job sequences: (arrival, kind, index), time-ordered
+        # with same-time questions after frames (the schedulers' order)
+        stream_jobs: list[list[tuple[float, str, int]]] = []
+        for s in range(num_streams):
+            entries = [
+                (float(t), FRAME_JOB, i) for i, t in enumerate(traces[s].tolist())
+            ]
+            at = q_arrivals[s]
+            if at is not None:
+                pos = int(np.searchsorted(traces[s], float(at), side="right"))
+                entries.insert(pos, (float(at), QUESTION_JOB, 0))
+            stream_jobs.append(entries)
+        remaining_jobs = sum(len(entries) for entries in stream_jobs)
+
+        seq = count()
+        heap: list[tuple] = []
+        for s in range(num_streams):
+            if stream_jobs[s]:
+                heappush(
+                    heap,
+                    (
+                        stream_jobs[s][0][0],
+                        _EV_JOB,
+                        (profiles[s].session_id, s),
+                        next(seq),
+                        (s, 0),
+                    ),
+                )
+        if sweeping:
+            heappush(
+                heap,
+                (fleet.rebalance_interval_s, _EV_SWEEP, (), next(seq), None),
+            )
+
+        def movable(session: int, now_s: float) -> bool:
+            # a session mid-transfer is never re-stolen, and one move per
+            # session per timestamp (no same-instant ping-pong over a
+            # free interconnect)
+            if session_ready.get(session, 0.0) > now_s:
+                return False
+            moved = last_move.get(session)
+            return moved is None or moved < now_s
+
+        def wake_idle(now_s: float) -> None:
+            for dev in devices:
+                if dev.backlog_s(now_s) <= 0.0:
+                    heappush(heap, (now_s, _EV_IDLE, (dev.index,), next(seq), dev.index))
+
+        def rehome(
+            session: int,
+            src: FleetDevice,
+            dst: FleetDevice,
+            now_s: float,
+            reason: str,
+        ) -> None:
+            stolen = src.remove_unstarted(session, now_s)
+            profile = profile_of[session]
+            shards = self.plane.session_shard_bytes(system, profile)
+            transfer = link.ship(
+                now_s,
+                shards.total_bytes,
+                session_id=session,
+                src_device=src.index,
+                dst_device=dst.index,
+                not_before_s=session_ready.get(session, 0.0),
+            )
+            ready = transfer.finish_s
+            session_ready[session] = ready
+            current[session] = dst.index
+            last_move[session] = now_s
+            for job in stolen:
+                dst.add_job(session, job.stream, job.kind, job.index, ready, job.work_s)
+                if job.kind == FRAME_JOB:
+                    plan.frame_device[job.stream][job.index] = dst.index
+                    plan.frame_ready[job.stream][job.index] = ready
+                else:
+                    plan.question_device[job.stream] = dst.index
+                    plan.question_ready[job.stream] = ready
+            migrations.append(
+                MigrationRecord(
+                    session_id=session,
+                    stream_index=stream_of[session],
+                    src_device=src.index,
+                    dst_device=dst.index,
+                    num_bytes=shards.total_bytes,
+                    decision_s=now_s,
+                    start_s=transfer.start_s,
+                    finish_s=transfer.finish_s,
+                    reason=reason,
+                    jobs_moved=len(stolen),
+                )
+            )
+            if stealing:
+                heappush(
+                    heap,
+                    (
+                        max(src.busy_until_s, now_s),
+                        _EV_IDLE,
+                        (src.index,),
+                        next(seq),
+                        src.index,
+                    ),
+                )
+                heappush(
+                    heap,
+                    (
+                        max(dst.busy_until_s, now_s),
+                        _EV_IDLE,
+                        (dst.index,),
+                        next(seq),
+                        dst.index,
+                    ),
+                )
+                wake_idle(now_s)
+
+        def try_steal(thief: FleetDevice, now_s: float) -> None:
+            if thief.backlog_s(now_s) > 0.0:
+                return  # stale wakeup: work landed since this was queued
+            victim = None
+            victim_backlog = 0.0
+            for dev in devices:
+                if dev.index == thief.index:
+                    continue
+                backlog = dev.backlog_s(now_s)
+                if victim is None or backlog > victim_backlog:
+                    victim, victim_backlog = dev, backlog
+            if victim is None or not victim_backlog > fleet.steal_backlog_s:
+                return
+            totals = victim.unstarted_by_session(now_s)
+            best = None
+            for session in sorted(totals):
+                if not movable(session, now_s):
+                    continue
+                if best is None or totals[session] > totals[best]:
+                    best = session
+            if best is None:
+                return
+            rehome(best, victim, thief, now_s, MIGRATE_STEAL)
+
+        def sweep(now_s: float) -> None:
+            for session in sorted(current):
+                if not movable(session, now_s):
+                    continue
+                src = devices[current[session]]
+                if src.unstarted_s(session, now_s) <= 0.0:
+                    continue
+                best = min(devices, key=lambda dev: (dev.backlog_s(now_s), dev.index))
+                if best.index == src.index:
+                    continue
+                gap = src.backlog_s(now_s) - best.backlog_s(now_s)
+                if gap > fleet.rebalance_hysteresis_s:
+                    rehome(session, src, best, now_s, MIGRATE_REBALANCE)
+            if remaining_jobs > 0 or any(
+                dev.backlog_s(now_s) > 0.0 for dev in devices
+            ):
+                heappush(
+                    heap,
+                    (
+                        now_s + fleet.rebalance_interval_s,
+                        _EV_SWEEP,
+                        (),
+                        next(seq),
+                        None,
+                    ),
+                )
+
+        while heap:
+            now_s, etype, _key, _seq, payload = heappop(heap)
+            if etype == _EV_JOB:
+                s, cursor = payload
+                arrival, kind, index = stream_jobs[s][cursor]
+                profile = profiles[s]
+                session = profile.session_id
+                d = current.get(session)
+                if d is None:
+                    home = homes.get(session)
+                    if num_devices == 1:
+                        d = 0
+                    else:
+                        d = self._choose(fleet, devices, rng, rr_next, arrival, home)
+                    if fleet.router == "round_robin":
+                        rr_next += 1
+                    current[session] = d
+                    if home is not None and d != home:
+                        shards = self.plane.session_shard_bytes(system, profile)
+                        transfer = link.ship(
+                            arrival,
+                            shards.total_bytes,
+                            session_id=session,
+                            src_device=home,
+                            dst_device=d,
+                        )
+                        session_ready[session] = transfer.finish_s
+                        last_move[session] = arrival
+                        migrations.append(
+                            MigrationRecord(
+                                session_id=session,
+                                stream_index=s,
+                                src_device=home,
+                                dst_device=d,
+                                num_bytes=shards.total_bytes,
+                                decision_s=arrival,
+                                start_s=transfer.start_s,
+                                finish_s=transfer.finish_s,
+                                reason=MIGRATE_PLACEMENT,
+                                jobs_moved=0,
+                            )
+                        )
+                ready = session_ready.get(session, 0.0)
+                release = arrival if ready <= arrival else ready
+                if kind == FRAME_JOB:
+                    plan.frame_device[s][index] = d
+                    plan.frame_ready[s][index] = ready
+                else:
+                    plan.question_device[s] = d
+                    plan.question_ready[s] = ready
+                if need_estimates:
+                    solo = self._solo_estimate_s(system, profile)
+                    work = solo * (1 + answers[s]) if kind == QUESTION_JOB else solo
+                    device = devices[d]
+                    if self._predicted_shed(config, device, session, work, now_s):
+                        plan.predicted_sheds += 1
+                    else:
+                        device.add_job(session, s, kind, index, release, work)
+                        if stealing:
+                            heappush(
+                                heap,
+                                (
+                                    device.busy_until_s,
+                                    _EV_IDLE,
+                                    (d,),
+                                    next(seq),
+                                    d,
+                                ),
+                            )
+                            wake_idle(now_s)
+                remaining_jobs -= 1
+                cursor += 1
+                if cursor < len(stream_jobs[s]):
+                    heappush(
+                        heap,
+                        (
+                            stream_jobs[s][cursor][0],
+                            _EV_JOB,
+                            (session, s),
+                            next(seq),
+                            (s, cursor),
+                        ),
+                    )
+            elif etype == _EV_IDLE:
+                try_steal(devices[payload], now_s)
+            else:
+                sweep(now_s)
+
+        # idle sessions only need a home for their registration; they
+        # consume round-robin slots after every arriving session, exactly
+        # as the one-shot router ordered them (first arrival = inf)
+        idle_streams = sorted(
+            (s for s in range(num_streams) if not stream_jobs[s]),
+            key=lambda s: (profiles[s].session_id, s),
+        )
+        for s in idle_streams:
+            session = profiles[s].session_id
+            home = homes.get(session)
+            if num_devices == 1:
+                d = 0
+            elif home is not None:
+                d = home
+            else:
+                d = rr_next % num_devices
+            if fleet.router == "round_robin" or home is None:
+                rr_next += 1
+            current[session] = d
+            plan.idle_placement[s] = d
+        return plan
 
     # ------------------------------------------------------------------ #
     # routing internals
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _first_arrival(trace: np.ndarray, question_at: float | None) -> float:
-        """The session's placement time: its earliest job arrival."""
-        first = float(trace[0]) if trace.size else math.inf
-        if question_at is not None:
-            first = min(first, float(question_at))
-        return first
-
     def _validated_homes(
         self, home_devices: dict[int, int] | None, profiles: list[StreamProfile]
     ) -> dict[int, int]:
@@ -565,6 +1119,23 @@ class FleetScheduler:
                 )
         return dict(home_devices)
 
+    @staticmethod
+    def _draw_candidates(rng, num_devices: int) -> tuple[int, int]:
+        """Two *distinct* candidate devices for power-of-two, ordered.
+
+        The second draw samples ``num_devices - 1`` values and skips over
+        the first pick, so the pair is distinct by construction for any
+        ``num_devices >= 2`` — at M=2 it is always ``(0, 1)``, which
+        makes ``power_of_two`` decision-equivalent to ``least_loaded``
+        there (the property suite pins this).  Returning the pair sorted
+        lets the caller tie-break to the lower index deterministically.
+        """
+        first = int(rng.integers(num_devices))
+        second = int(rng.integers(num_devices - 1))
+        if second >= first:
+            second += 1
+        return min(first, second), max(first, second)
+
     def _choose(
         self,
         fleet: FleetConfig,
@@ -578,11 +1149,7 @@ class FleetScheduler:
         if router == "round_robin":
             return rr_next % len(devices)
         if router == "power_of_two":
-            first = int(rng.integers(len(devices)))
-            second = int(rng.integers(len(devices) - 1))
-            if second >= first:
-                second += 1
-            a, b = min(first, second), max(first, second)
+            a, b = self._draw_candidates(rng, len(devices))
             return a if devices[a].backlog_s(t) <= devices[b].backlog_s(t) else b
         if router == "kv_residency" and home is not None:
             if devices[home].backlog_s(t) <= fleet.migrate_backlog_s:
@@ -590,15 +1157,8 @@ class FleetScheduler:
         # least_loaded (and the kv_residency/homeless fallbacks)
         return min(devices, key=lambda d: (d.backlog_s(t), d.index)).index
 
-    def _estimated_work_s(
-        self,
-        system: SystemConfig,
-        profile: StreamProfile,
-        trace: np.ndarray,
-        question_at: float | None,
-        answer_count: int,
-    ) -> float:
-        """Session work estimate: solo frame latency × job count.
+    def _solo_estimate_s(self, system: SystemConfig, profile: StreamProfile) -> float:
+        """Estimated solo work of one frame job of this stream.
 
         Questions and generation tokens are charged at the frame rate —
         the router needs a consistent load ranking across devices, not an
@@ -607,14 +1167,48 @@ class FleetScheduler:
         key = (id(system), id(profile))
         cached = self._estimate_cache.get(key)
         if cached is not None and cached[0] is system and cached[1] is profile:
-            solo = cached[2]
-        else:
-            solo = self.plane.frame_step(system, [profile]).streams[0].total_s
-            if len(self._estimate_cache) >= 4096:
-                self._estimate_cache.clear()
-            self._estimate_cache[key] = (system, profile, solo)
-        jobs = int(trace.size) + (1 if question_at is not None else 0) + answer_count
-        return solo * jobs
+            return cached[2]
+        solo = self.plane.frame_step(system, [profile]).streams[0].total_s
+        if len(self._estimate_cache) >= 4096:
+            self._estimate_cache.clear()
+        self._estimate_cache[key] = (system, profile, solo)
+        return solo
+
+    @staticmethod
+    def _predicted_shed(
+        config: SchedulerConfig,
+        device: FleetDevice,
+        session: int,
+        work_s: float,
+        now_s: float,
+    ) -> bool:
+        """Mirror the device admission controller on the router's estimate.
+
+        A job the device would shed never costs the device work, so
+        charging it to the estimator is exactly the stale-backlog bug —
+        the router predicts the shed and credits the work back instead.
+        Queue-depth drops mirror ``slot.busy and queue_depth >= max``
+        (the session already has ``max_queue_depth + 1`` unfinished jobs
+        here); residency deferrals mirror the deadline test coarsely,
+        with the estimator's pending count standing in for the compute
+        backlog.  The per-device run still makes the real decision —
+        :attr:`FleetResult.predicted_sheds` vs :attr:`FleetResult.dropped`
+        audits the prediction.
+        """
+        device.advance(now_s)
+        pending = device.pending_jobs(session)
+        if (
+            config.max_queue_depth is not None
+            and pending >= config.max_queue_depth + 1
+        ):
+            return True
+        if (
+            config.admission == "residency"
+            and config.deadline_s is not None
+            and (pending + 1) * work_s > config.deadline_s
+        ):
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     # record adjustment
@@ -623,29 +1217,33 @@ class FleetScheduler:
     def _globalized_records(
         schedule: ScheduleResult,
         streams_d: list[int],
+        frame_maps: list[np.ndarray],
         traces: list[np.ndarray],
         q_arrivals: list[float | None],
-        ready_at: list[float],
     ) -> list[JobRecord]:
         """Device records remapped to global streams, arrivals restored.
 
-        A migrated session's frames buffered at the router until its
-        shards landed; the device saw clamped arrivals, but the user
+        A re-homed job buffered at the router until its session's shards
+        landed; the device saw a clamped arrival (and, for a stolen
+        session's frames, a compacted local job index), but the user
         uploaded at the original times — fleet sojourns (and deadline
-        misses) are measured from those.  Generation jobs chain off
+        misses) are measured from those, with frame indices mapped back
+        to the original trace positions.  Generation jobs chain off
         finish times and are never clamped.
         """
         out: list[JobRecord] = []
         for record in schedule.records:
-            s = streams_d[record.stream_index]
+            local = record.stream_index
+            s = streams_d[local]
             arrival = record.arrival_s
-            if ready_at[s] > 0.0:
-                if record.kind == FRAME_JOB:
-                    arrival = float(traces[s][record.job_index])
-                elif record.kind == QUESTION_JOB:
-                    arrival = float(q_arrivals[s])
+            job_index = record.job_index
+            if record.kind == FRAME_JOB:
+                job_index = int(frame_maps[local][record.job_index])
+                arrival = float(traces[s][job_index])
+            elif record.kind == QUESTION_JOB:
+                arrival = float(q_arrivals[s])
             unchanged = arrival == record.arrival_s  # simlint: exact — identity pass-through gate
-            if s == record.stream_index and unchanged:
+            if s == local and unchanged and job_index == record.job_index:
                 out.append(record)
                 continue
             missed = record.deadline_missed
@@ -656,6 +1254,7 @@ class FleetScheduler:
                 replace(
                     record,
                     stream_index=s,
+                    job_index=job_index,
                     arrival_s=arrival,
                     deadline_missed=missed,
                 )

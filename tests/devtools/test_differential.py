@@ -1,0 +1,134 @@
+"""Cross-engine differential sanitization (the carried ROADMAP follow-up).
+
+Runs the same seeded fleet workload — including work stealing, the
+stressiest routing path — under the reference and array engines with the
+runtime sanitizer armed, and requires record-for-record agreement.  A
+doctored divergence must raise with a field-level diff naming the job
+and field where the engines forked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.devtools.differential import (
+    DifferentialError,
+    assert_engines_agree,
+    diff_records,
+)
+from repro.hw.interconnect import PCIE5_SWITCH
+from repro.sim.arrivals import BurstyArrivals, rate_for_load
+from repro.sim.batched import BatchLatencyModel, StreamProfile
+from repro.sim.fleet import FleetConfig, FleetScheduler
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler
+from repro.sim.systems import edge_systems
+from repro.sim.workload import default_llm_workload
+
+
+@pytest.fixture(scope="module")
+def edge():
+    return edge_systems(default_llm_workload().model_bytes())
+
+
+def _seeded_fleet_run(edge, engine: str):
+    plane = BatchLatencyModel()
+    system = edge["V-Rex8"]
+    profiles = [StreamProfile(kv_len=40_000, session_id=i) for i in range(6)]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    traces = BurstyArrivals.for_mean_rate(
+        rate_for_load(1.2, solo, 6)
+    ).generate(6, 5, seed=23)
+    config = SchedulerConfig(deadline_s=2.5 * solo, max_queue_depth=4)
+    fleet = FleetScheduler(
+        plane,
+        config,
+        FleetConfig(
+            num_devices=3,
+            router="kv_residency",
+            interconnect=PCIE5_SWITCH,
+            migrate_backlog_s=math.inf,
+            work_stealing=True,
+        ),
+        engine=engine,
+    )
+    return fleet.run(
+        system,
+        profiles,
+        traces,
+        home_devices={profile.session_id: 0 for profile in profiles},
+    )
+
+
+class TestAssertEnginesAgree:
+    def test_seeded_steal_run_agrees_across_engines(self, edge, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        results = assert_engines_agree(lambda engine: _seeded_fleet_run(edge, engine))
+        assert set(results) == {"reference", "array"}
+        # the workload exercised the steal path, not a trivial schedule
+        assert results["array"].steal_count > 0
+        assert results["array"].records == results["reference"].records
+
+    def test_scheduler_run_agrees_across_engines(self, edge, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        plane = BatchLatencyModel()
+        system = edge["V-Rex8"]
+        profiles = [StreamProfile(kv_len=30_000, session_id=i) for i in range(4)]
+        solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+        traces = BurstyArrivals.for_mean_rate(
+            rate_for_load(1.4, solo, 4)
+        ).generate(4, 6, seed=7)
+        config = SchedulerConfig(deadline_s=2.0 * solo, max_queue_depth=3)
+        assert_engines_agree(
+            lambda engine: ServingScheduler(plane, config, engine=engine).run(
+                system, profiles, traces
+            )
+        )
+
+    def test_refuses_to_run_unsanitized(self, edge, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        with pytest.raises(RuntimeError, match="REPRO_SANITIZE"):
+            assert_engines_agree(lambda engine: _seeded_fleet_run(edge, engine))
+
+    def test_doctored_divergence_raises_with_field_diff(self, edge, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        honest = _seeded_fleet_run(edge, "array")
+
+        class Doctored:
+            def __init__(self, result):
+                self.records = [
+                    replace(record, finish_s=record.finish_s + 1.0)
+                    if index == 2
+                    else record
+                    for index, record in enumerate(result.records)
+                ]
+                self.events_processed = result.events_processed
+
+        def run(engine):
+            result = _seeded_fleet_run(edge, engine)
+            return Doctored(result) if engine == "array" else result
+
+        with pytest.raises(DifferentialError) as excinfo:
+            assert_engines_agree(run)
+        assert "record[2]" in str(excinfo.value)
+        assert "finish_s" in str(excinfo.value)
+
+
+class TestDiffRecords:
+    def test_agreement_is_empty(self, edge):
+        result = _seeded_fleet_run(edge, "array")
+        assert diff_records(result.records, result.records) == []
+
+    def test_count_mismatch_reported(self, edge):
+        result = _seeded_fleet_run(edge, "array")
+        diffs = diff_records(result.records, result.records[:-1])
+        assert any("record count" in line for line in diffs)
+
+    def test_diff_is_truncated(self, edge):
+        result = _seeded_fleet_run(edge, "array")
+        doctored = [replace(record, start_s=-1.0) for record in result.records]
+        diffs = diff_records(result.records, doctored, limit=3)
+        assert diffs[-1] == "... (diff truncated)"
+        assert len(diffs) == 4

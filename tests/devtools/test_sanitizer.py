@@ -22,6 +22,8 @@ from repro.devtools.sanitizer import (
     RING_DISCIPLINE,
     SHARD_CONSERVATION,
     SanitizerError,
+    arm,
+    arm_from_argv,
     resolve,
     sanitize_enabled,
 )
@@ -60,6 +62,23 @@ class TestEnvGating:
 
     def test_zero_means_off(self, monkeypatch):
         monkeypatch.setenv(ENV_VAR, "0")
+        assert not sanitize_enabled()
+
+    def test_arm_enables_for_the_process(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        arm()
+        assert sanitize_enabled()
+
+    def test_arm_from_argv_consumes_flag(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        rest = arm_from_argv(["--sanitize", "other"])
+        assert rest == ["other"]
+        assert sanitize_enabled()
+
+    def test_arm_from_argv_without_flag_is_inert(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        rest = arm_from_argv(["other"])
+        assert rest == ["other"]
         assert not sanitize_enabled()
 
     def test_unsanitized_components_skip_checks(self, monkeypatch):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.devtools.sanitizer import ENV_VAR, sanitize_enabled
 from repro.experiments import (
     batched_serving,
     fig04_motivation,
@@ -13,6 +14,7 @@ from repro.experiments import (
     fig16_ablation_hw,
     fig17_bandwidth,
     fig18_roofline,
+    fleet_serving,
     scheduled_serving,
     sharded_memory,
     table03_area_power,
@@ -237,6 +239,57 @@ class TestScheduledServing:
         scheduled_serving.main()
         out = capsys.readouterr().out
         assert "Scheduled serving" in out and "tail blow-up" in out
+
+    def test_main_sanitize_flag_arms_sanitizer(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        scheduled_serving.main(["--sanitize"])
+        assert sanitize_enabled()
+        assert "Scheduled serving" in capsys.readouterr().out
+
+
+class TestFleetServing:
+    @pytest.fixture(scope="class")
+    def migration(self):
+        return fleet_serving.run_migration_sweep(
+            num_streams=6, frames_per_stream=5, num_devices=3
+        )
+
+    def test_every_point_has_steal_and_one_shot_rows(self, migration):
+        modes = {}
+        for row in migration.rows:
+            key = (row["router"], row["patience"])
+            modes.setdefault(key, set()).add(row["stealing"])
+        assert all(found == {False, True} for found in modes.values())
+
+    def test_stealing_improves_p99_on_the_stuck_population(self, migration):
+        """The acceptance criterion: an imbalanced seeded scenario where
+        stealing strictly improves the tail."""
+        stuck = [
+            row
+            for row in migration.rows
+            if row["router"] == "kv_residency"
+            and row["patience"] == float("inf")
+        ]
+        one_shot = next(r for r in stuck if not r["stealing"])
+        steal = next(r for r in stuck if r["stealing"])
+        assert steal["steals"] > 0
+        assert steal["p99"] < one_shot["p99"]
+        assert one_shot["steals"] == 0
+
+    def test_steal_rows_price_their_traffic(self, migration):
+        for row in migration.rows:
+            if row["stealing"] and row["steals"] > 0:
+                assert row["interconnect_bytes"] > 0.0
+                assert row["migrations"] >= row["steals"]
+
+    def test_main_prints_and_sanitize_flag_arms(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        fleet_serving.main(["--sanitize"])
+        assert sanitize_enabled()
+        out = capsys.readouterr().out
+        assert "Fleet serving" in out
+        assert "one-shot vs work stealing" in out
+        assert "work stealing on the stuck-at-home population" in out
 
 
 class TestShardedMemory:

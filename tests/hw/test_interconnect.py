@@ -108,3 +108,41 @@ class TestInterconnectLink:
         assert link.num_transfers == 2
         assert link.total_bytes == 2e9
         link.assert_conserved()  # count-only check still runs
+
+    def test_not_before_pins_transfer_release(self):
+        spec = InterconnectSpec(
+            name="test", bandwidth_gbps=1.0, latency_us=0.0, efficiency=1.0
+        )
+        link = InterconnectLink(spec)
+        pinned = link.ship(0.0, 1e9, not_before_s=2.0)
+        # shards that do not exist yet cannot leave before they exist
+        assert pinned.service.arrival_s == 2.0
+        assert pinned.start_s == 2.0
+        assert pinned.finish_s == pytest.approx(3.0)
+
+    def test_ship_order_never_overtakes(self):
+        """A pinned transfer head-of-line blocks later-decided transfers."""
+        spec = InterconnectSpec(
+            name="test", bandwidth_gbps=1.0, latency_us=0.0, efficiency=1.0
+        )
+        link = InterconnectLink(spec)
+        pinned = link.ship(0.0, 1e9, not_before_s=5.0)  # decided first
+        later = link.ship(1.0, 1e9)  # decided second, arrives earlier
+        assert pinned.start_s == 5.0
+        # the later decision is floored to the pinned release: ship order
+        assert later.service.arrival_s == 5.0
+        assert later.start_s == pytest.approx(pinned.finish_s)
+        assert later.finish_s > pinned.finish_s
+        link.assert_conserved()
+
+    def test_backlog_drains_to_zero(self):
+        spec = InterconnectSpec(
+            name="test", bandwidth_gbps=1.0, latency_us=0.0, efficiency=1.0
+        )
+        link = InterconnectLink(spec)
+        assert link.backlog_s(0.0) == 0.0
+        link.ship(0.0, 1e9)  # 1 s service
+        link.ship(0.0, 1e9)  # queued behind: finishes at 2 s
+        assert link.backlog_s(0.0) == pytest.approx(2.0)
+        assert link.backlog_s(1.5) == pytest.approx(0.5)
+        assert link.backlog_s(3.0) == 0.0
