@@ -1,0 +1,215 @@
+"""Energy-plane pricing cost and the degenerate-case energy goldens.
+
+Measures three things and writes them to ``BENCH_energy.json``:
+
+* **degenerate goldens** — a single uncontended frame's priced energy per
+  system and engine, held against the analytic
+  ``StreamingPipeline.step_energy_j`` value (the post-fix
+  ``inference_energy_j`` path: full-load IO power during busy seconds, no
+  duty-cycle derate).  The committed relative errors are at float
+  resolution; ``bench_scheduler.py --gate`` re-runs the check and requires
+  the priced joules to match the committed values *exactly* and the
+  analytic anchor to <= 1e-9 relative;
+* **pricing throughput** — ``ScheduleResult.energy()`` reports per second
+  over an already-simulated contended run.  Pricing is a pure post-pass
+  over the records (the residency accumulators are maintained in-run at
+  O(1)), so it must stay thousands-of-reports-per-second cheap;
+* **admission showdown** — the committed J/query evidence that
+  ``admission="energy"`` undercuts ``admission="residency"`` at a moderate
+  load point while staying within 10% of its p99 (the PR 10 acceptance
+  criterion), asserted on every benchmark run.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_energy.py [--smoke]
+
+``--smoke`` runs a seconds-scale subset with sanity assertions and skips
+the JSON write; CI uses it to keep the energy path exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.experiments.energy_serving import run_admission_showdown  # noqa: E402
+from repro.sim.arrivals import DeterministicArrivals, PoissonArrivals, rate_for_load  # noqa: E402
+from repro.sim.batched import BatchLatencyModel, StreamProfile  # noqa: E402
+from repro.sim.scheduler import SchedulerConfig, ServingScheduler  # noqa: E402
+from repro.sim.systems import edge_systems, server_systems  # noqa: E402
+from repro.sim.workload import default_llm_workload  # noqa: E402
+
+#: The systems whose degenerate-case energy is pinned by the gate.
+DEGENERATE_SYSTEMS = ("V-Rex8", "V-Rex48", "AGX + FlexGen")
+DEGENERATE_KV_LEN = 40_000
+DEGENERATE_REL_TOL = 1e-9
+
+
+def _system(key: str):
+    model_bytes = default_llm_workload().model_bytes()
+    catalog = {**edge_systems(model_bytes), **server_systems(model_bytes)}
+    return catalog[key]
+
+
+def degenerate_energy(system_key: str, engine: str) -> dict:
+    """Price one uncontended frame and compare to the analytic joules.
+
+    A single frame arriving at t=0 on an idle device exercises every
+    priced resource exactly once with zero queueing, so the scheduler's
+    busy/idle residency split must integrate to the same joules the
+    static ``step_energy_j`` model reports for that step — the anchor
+    that ties the event-driven energy plane to ``inference_energy_j``.
+    """
+    system = _system(system_key)
+    plane = BatchLatencyModel()
+    profiles = [StreamProfile(kv_len=DEGENERATE_KV_LEN, session_id=0)]
+    traces = DeterministicArrivals(period_s=0.0).generate(1, 1, seed=0)
+    scheduler = ServingScheduler(plane, SchedulerConfig(), engine=engine)
+    result = scheduler.run(system, profiles, traces)
+    report = result.energy()
+    analytic = plane.base.step_energy_j(
+        system, plane.base.frame_step(system, DEGENERATE_KV_LEN)
+    )
+    rel_err = abs(report.total_j - analytic) / analytic
+    return {
+        "engine": engine,
+        "system_key": system_key,
+        "kv_len": DEGENERATE_KV_LEN,
+        "total_j": report.total_j,
+        "analytic_j": analytic,
+        "rel_err": rel_err,
+        "window_s": report.window_s,
+    }
+
+
+def pricing_throughput(
+    num_streams: int, frames_per_stream: int, reports: int
+) -> dict:
+    """``ScheduleResult.energy()`` reports per second on a contended run.
+
+    The simulation runs once, untimed; only the pricing post-pass is
+    measured.  The per-resource rows are rebuilt from the records each
+    call, so this bounds what sweeps pay to price every operating point.
+    """
+    system = _system("V-Rex8")
+    plane = BatchLatencyModel()
+    profiles = [
+        StreamProfile(kv_len=DEGENERATE_KV_LEN, session_id=index)
+        for index in range(num_streams)
+    ]
+    solo = plane.frame_step(system, profiles[:1]).streams[0].total_s
+    traces = PoissonArrivals(
+        rate_hz=rate_for_load(1.2, solo, num_streams)
+    ).generate(num_streams, frames_per_stream, seed=0)
+    schedule = ServingScheduler(
+        plane, SchedulerConfig(max_queue_depth=4), engine="array"
+    ).run(system, profiles, traces)
+    schedule.energy()  # untimed warmup
+    gc.collect()
+    start = time.perf_counter()
+    for _ in range(reports):
+        schedule.energy()
+    elapsed = time.perf_counter() - start
+    return {
+        "num_streams": num_streams,
+        "frames_per_stream": frames_per_stream,
+        "records": len(schedule.records),
+        "reports": reports,
+        "reports_per_s": reports / elapsed,
+        "report_us": elapsed / reports * 1e6,
+    }
+
+
+def showdown(load_factors=None) -> dict:
+    """The committed energy-vs-residency admission evidence."""
+    kwargs = {} if load_factors is None else {"load_factors": load_factors}
+    result = run_admission_showdown(**kwargs)
+    return {
+        "system": result.system,
+        "kv_lens": list(result.kv_lens),
+        "deadline_s": result.deadline_s,
+        "budget_j_per_token": result.budget_j_per_token,
+        "rows": result.rows,
+        "energy_wins_at": result.energy_wins(),
+    }
+
+
+def _check_degenerate(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["rel_err"] <= DEGENERATE_REL_TOL, (
+            f"degenerate energy drifted from the analytic anchor: "
+            f"{row['system_key']}/{row['engine']} rel_err {row['rel_err']:.3e}"
+        )
+    by_system: dict[str, list[dict]] = {}
+    for row in rows:
+        by_system.setdefault(row["system_key"], []).append(row)
+    for system_key, pair in by_system.items():
+        totals = {row["total_j"] for row in pair}
+        assert len(totals) == 1, (
+            f"engines disagree on degenerate energy for {system_key}: {totals}"
+        )
+
+
+def run(smoke: bool = False) -> dict:
+    results: dict = {"degenerate": []}
+    for engine in ("reference", "array"):
+        for system_key in DEGENERATE_SYSTEMS:
+            row = degenerate_energy(system_key, engine)
+            results["degenerate"].append(row)
+            print(
+                f"degenerate [{system_key}/{engine}]: {row['total_j']:.6f} J "
+                f"vs analytic {row['analytic_j']:.6f} J "
+                f"(rel err {row['rel_err']:.2e})"
+            )
+    _check_degenerate(results["degenerate"])
+
+    results["pricing"] = pricing_throughput(
+        num_streams=4 if smoke else 8,
+        frames_per_stream=6 if smoke else 12,
+        reports=50 if smoke else 500,
+    )
+    print(
+        f"pricing: {results['pricing']['reports_per_s']:,.0f} reports/s "
+        f"({results['pricing']['report_us']:.0f} us/report, "
+        f"{results['pricing']['records']} records)"
+    )
+
+    results["showdown"] = showdown(load_factors=(1.0,) if smoke else None)
+    for row in results["showdown"]["rows"]:
+        print(
+            f"showdown [load {row['load']}/{row['admission']}]: "
+            f"{row['served']} served, {row['deferred']} deferred, "
+            f"{row['j_per_query']:.3f} J/query, p99 {row['p99_ms']:.1f} ms"
+        )
+    wins = results["showdown"]["energy_wins_at"]
+    print(f"energy admission wins at load(s): {wins}")
+    # the PR 10 acceptance criterion, asserted on every benchmark run
+    assert 1.0 in wins, (
+        "energy admission must undercut residency on J/query at load 1.0 "
+        "while staying within 10% of its p99"
+    )
+
+    if smoke:
+        assert results["pricing"]["reports_per_s"] > 0
+        assert all(row["total_j"] > 0 for row in results["degenerate"])
+        print("smoke ok")
+    return results
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    results = run(smoke=smoke)
+    if not smoke:
+        output = REPO_ROOT / "BENCH_energy.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -450,10 +450,36 @@ def gate() -> int:
             f"{base['migrations']} / {base['interconnect_bytes'] / 1e9:.2f} GB "
             f"-> {'ok' if ok else 'FAIL'}"
         )
+    # degenerate energy golden: one uncontended frame's priced joules are
+    # held to the committed values EXACTLY and to the analytic
+    # ``step_energy_j`` anchor to <= 1e-9 relative — an energy-accounting
+    # change that perturbs the busy/idle residency split fails here even
+    # if every latency golden still passes.  Behavioural, not timed.
+    import bench_energy
+
+    energy_committed = json.loads(
+        (REPO_ROOT / "BENCH_energy.json").read_text()
+    )["degenerate"]
+    for base in energy_committed:
+        measured = bench_energy.degenerate_energy(
+            base["system_key"], base["engine"]
+        )
+        ok = (
+            measured["total_j"] == base["total_j"]
+            and measured["rel_err"] <= bench_energy.DEGENERATE_REL_TOL
+        )
+        failed |= not ok
+        print(
+            f"gate [energy/degenerate/{base['system_key']}/{base['engine']}]: "
+            f"{measured['total_j']:.6f} J vs committed {base['total_j']:.6f} J "
+            f"(analytic rel err {measured['rel_err']:.2e}) "
+            f"-> {'ok' if ok else 'FAIL'}"
+        )
     if failed:
         print(
             "gate FAILED: array-engine events/s fell >30% below trajectory, "
-            "or the fleet golden's migration behaviour drifted"
+            "the fleet golden's migration behaviour drifted, or the "
+            "degenerate energy golden no longer matches"
         )
         return 1
     print("gate ok")

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the energy-serving sweeps (load + admission)."""
+
+from repro.experiments import energy_serving
+
+
+def test_bench_energy_load_sweep(benchmark):
+    result = benchmark(energy_serving.run_load_sweep)
+    rows = sorted(result.rows, key=lambda row: row["load"])
+    assert all(row["total_j"] > 0 for row in rows)
+    # idle power dominates at low load: J/query falls as the window fills
+    assert rows[-1]["j_per_query"] < rows[0]["j_per_query"]
+
+
+def test_bench_energy_admission_showdown(benchmark):
+    result = benchmark(energy_serving.run_admission_showdown)
+    assert 1.0 in result.energy_wins()

@@ -5,6 +5,12 @@ from repro.analysis.breakdown import (
     retrieval_overhead_fractions,
     scenario_breakdowns,
 )
+from repro.analysis.energy import (
+    energy_rollup,
+    format_energy_headline,
+    format_energy_table,
+    resource_rows,
+)
 from repro.analysis.fleet import (
     fleet_rollup,
     format_device_table,
@@ -42,10 +48,13 @@ __all__ = [
     "batch_summary",
     "deadline_miss_rate",
     "efficiency_gain",
+    "energy_rollup",
     "fleet_rollup",
     "format_bank_occupancy_table",
     "format_breakdown",
     "format_device_table",
+    "format_energy_headline",
+    "format_energy_table",
     "format_fleet_table",
     "format_latency_summary_table",
     "format_schedule_record_table",
@@ -59,6 +68,7 @@ __all__ = [
     "latency_percentiles",
     "pearson_correlation",
     "per_device_rows",
+    "resource_rows",
     "retrieval_overhead_fractions",
     "retrieval_ratio_spread",
     "scenario_breakdowns",

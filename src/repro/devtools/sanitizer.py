@@ -30,7 +30,12 @@ golden run, a sweep.  Checks threaded through the stack:
   asserts after every mutation that per-session shard bytes telescope
   exactly (warm + cold = off-chip, warm never exceeds home), that bank
   occupancy equals the per-session warm sum, budgets are respected, and
-  the hot tier is never evicted.
+  the hot tier is never evicted;
+* **energy conservation** — :func:`repro.sim.energy.assert_conserved`
+  asserts every energy report's per-resource rows are non-negative,
+  bounded by their power x window ceiling, and sum to the reported
+  total (a row bypassing the accounting surfaces here, not as a wrong
+  $/1M-queries figure downstream).
 
 Violations raise :class:`SanitizerError` — a structured error carrying a
 machine-readable check code and the tail of the event trace leading up
@@ -54,6 +59,7 @@ RING_DISCIPLINE = "ring-discipline"
 RESOURCE_BALANCE = "resource-balance"
 JOB_STATE = "job-state"
 SHARD_CONSERVATION = "shard-conservation"
+ENERGY_CONSERVATION = "energy-conservation"
 
 #: Events retained in a trace tail attached to errors.
 TRACE_TAIL = 16

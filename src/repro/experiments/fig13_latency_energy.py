@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.metrics import speedup_range
 from repro.analysis.reporting import format_series, format_table
+from repro.devtools.sanitizer import arm_from_argv
 from repro.sim.pipeline import LatencyModel
 from repro.sim.runner import DEFAULT_KV_LENGTHS, ExperimentRunner, SweepResult
 from repro.sim.systems import edge_systems, server_systems
@@ -35,6 +36,29 @@ class Fig13Result:
     vrex_fps: dict[int, float] = field(default_factory=dict)
 
 
+def _gain_series(
+    vrex_eff: dict[int, float],
+    base_eff: dict[int, float],
+    stage: str,
+    baseline: str,
+) -> dict[int, float]:
+    """Efficiency-gain ratios, logging any KV point the filter drops.
+
+    A baseline efficiency of exactly 0.0 means "no energy measured" for
+    that point (see ``EnergyModel.efficiency_gops_per_w``); dividing by
+    it is meaningless, but silently narrowing the headline range over it
+    would violate the no-silent-caps rule — so every dropped point is
+    printed.
+    """
+    dropped = sorted(k for k in base_eff if not base_eff[k] > 0)
+    if dropped:
+        print(
+            f"  [fig13] {stage}: dropping kv={dropped} from the "
+            f"efficiency-gain range — {baseline} reported no energy there"
+        )
+    return {k: vrex_eff[k] / base_eff[k] for k in base_eff if base_eff[k] > 0}
+
+
 def _platform_result(
     platform: str,
     systems: dict,
@@ -51,14 +75,14 @@ def _platform_result(
     result.tpot_speedup_b1 = sweep.speedup_over(baseline, vrex, "generation", 1)
     base_eff = sweep.efficiency_series(baseline, "frame", 1)
     vrex_eff = sweep.efficiency_series(vrex, "frame", 1)
-    result.energy_gain_frame_b1 = {
-        k: vrex_eff[k] / base_eff[k] for k in base_eff if base_eff[k] > 0
-    }
+    result.energy_gain_frame_b1 = _gain_series(
+        vrex_eff, base_eff, f"{platform}/frame", baseline
+    )
     base_eff_g = sweep.efficiency_series(baseline, "generation", 1)
     vrex_eff_g = sweep.efficiency_series(vrex, "generation", 1)
-    result.energy_gain_tpot_b1 = {
-        k: vrex_eff_g[k] / base_eff_g[k] for k in base_eff_g if base_eff_g[k] > 0
-    }
+    result.energy_gain_tpot_b1 = _gain_series(
+        vrex_eff_g, base_eff_g, f"{platform}/generation", baseline
+    )
     result.vrex_frame_latency_ms = sweep.latency_series(vrex, "frame", 1)
     result.vrex_fps = {k: 1000.0 / v for k, v in result.vrex_frame_latency_ms.items() if v > 0}
     return result
@@ -78,8 +102,9 @@ def run(kv_lengths=DEFAULT_KV_LENGTHS) -> dict[str, Fig13Result]:
     }
 
 
-def main() -> dict[str, Fig13Result]:
+def main(argv: list[str] | None = None) -> dict[str, Fig13Result]:
     """Print per-system latency series and the paper's headline ranges."""
+    arm_from_argv(argv)
     results = run()
     for platform, result in results.items():
         systems = sorted({r.system for r in result.sweep.records})

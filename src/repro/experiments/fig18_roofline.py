@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table
+from repro.devtools.sanitizer import arm_from_argv
 from repro.hw.roofline import RooflinePoint, attainable_tflops
 from repro.sim.pipeline import LatencyModel
 from repro.sim.systems import edge_systems
@@ -65,8 +66,9 @@ def run(kv_len: int = 40_000, batch: int = 4) -> Fig18Result:
     return result
 
 
-def main() -> Fig18Result:
+def main(argv: list[str] | None = None) -> Fig18Result:
     """Print the roofline table."""
+    arm_from_argv(argv)
     result = run()
     rows = [
         [

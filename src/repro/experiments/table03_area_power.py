@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table
+from repro.devtools.sanitizer import arm_from_argv
 from repro.hw.energy import (
     A100_AREA_MM2,
     AGX_ORIN_AREA_MM2,
@@ -57,8 +58,9 @@ def run() -> Table03Result:
     )
 
 
-def main() -> Table03Result:
+def main(argv: list[str] | None = None) -> Table03Result:
     """Print the component table and the derived comparisons."""
+    arm_from_argv(argv)
     result = run()
     rows = [
         [c.name, c.group, c.area_mm2, f"{100 * c.area_mm2 / result.core_area_mm2:.2f}%",

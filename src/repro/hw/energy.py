@@ -94,6 +94,44 @@ class EnergyModel:
         self.dram_pj_per_byte = 4.0
         self.pcie_w_per_lane = 3.0
         self.ssd_active_w = 4.1
+        #: Blended industrial electricity price used for $/1M-queries.
+        self.usd_per_kwh = 0.12
+
+    def pcie_lanes(self, num_cores: int) -> int:
+        """Link width of a V-Rex deployment (core-config override wins)."""
+        if self.core.pcie_lanes is not None:
+            return self.core.pcie_lanes
+        return 4 if num_cores <= 8 else 16
+
+    def dram_static_w(self, num_cores: int) -> float:
+        """Background DRAM power of a V-Rex deployment (override wins)."""
+        if self.core.dram_w is not None:
+            return self.core.dram_w
+        return 5.0 if num_cores <= 8 else 45.0
+
+    def group_power_w(self, num_cores: int, group: str) -> float:
+        """Always-on power of one Table III group ("LXE" or "DRE") scaled
+        to the deployment's core count."""
+        group_mw = sum(c.power_mw for c in TABLE_III if c.group == group)
+        return group_mw / 1000.0 * num_cores
+
+    def pcie_full_load_w(self, num_cores: int) -> float:
+        """Full-load (not duty-cycle-averaged) PCIe link power."""
+        return self.pcie_w_per_lane * self.pcie_lanes(num_cores)
+
+    def ssd_full_load_w(self, num_cores: int) -> float:
+        """Full-load SSD power; only edge deployments (<=8 cores) carry
+        an SSD offload target."""
+        return self.ssd_active_w if num_cores <= 8 else 0.0
+
+    def io_full_load_w(self, num_cores: int) -> float:
+        """Full-load power of the retrieval IO path (PCIe link + SSD).
+
+        This is the rate to charge against *busy seconds*; the derated
+        figures in :meth:`vrex_system_power` are time averages and must
+        never be multiplied by a busy-time fraction again.
+        """
+        return self.pcie_full_load_w(num_cores) + self.ssd_full_load_w(num_cores)
 
     def vrex_system_power(self, num_cores: int, dram_w: float | None = None) -> SystemPowerBreakdown:
         """Average system power of a V-Rex deployment.
@@ -104,18 +142,24 @@ class EnergyModel:
         """
         cores_w = core_area_power().total_power_mw / 1000.0 * num_cores
         if dram_w is None:
-            dram_w = 5.0 if num_cores <= 8 else 45.0
-        lanes = 4 if num_cores <= 8 else 16
+            dram_w = self.dram_static_w(num_cores)
         # The link and the SSD are busy only during retrieval bursts, so the
         # time-averaged contribution is roughly half of their full-load power.
-        pcie_w = self.pcie_w_per_lane * lanes * 0.5
-        storage_w = self.ssd_active_w * 0.7 if num_cores <= 8 else 0.0
+        pcie_w = self.pcie_full_load_w(num_cores) * 0.5
+        storage_w = self.ssd_full_load_w(num_cores) * 0.7
         return SystemPowerBreakdown(
             compute_w=cores_w, dram_w=dram_w, pcie_w=pcie_w, storage_w=storage_w
         )
 
     def device_power_w(self, device: DeviceSpec) -> float:
-        """Average power of any device in the comparison."""
+        """Average power of any device in the comparison.
+
+        V-Rex devices route through :meth:`vrex_system_power`, which
+        resolves DRAM power and lane count from the configured
+        :class:`VRexCoreConfig` overrides before falling back to the
+        ``num_cores`` thresholds — a non-default deployment no longer
+        silently gets the Table I defaults.
+        """
         if device.kind == "vrex":
             return self.vrex_system_power(device.num_cores).total_w
         return device.power_w
@@ -132,13 +176,15 @@ class EnergyModel:
         GPUs are charged their full power envelope for the whole latency
         (that is what tegrastats/nvidia-smi measurements capture); V-Rex is
         charged its compute+DRAM baseline for the whole latency plus the
-        PCIe/SSD power only while the link is actually busy, plus explicit
-        DRAM access energy.
+        *full-load* PCIe/SSD power only while the link is actually busy,
+        plus explicit DRAM access energy.  The duty-cycle-derated IO watts
+        from :meth:`vrex_system_power` are already time averages — charging
+        them per busy second would apply the derate twice.
         """
         if device.kind != "vrex":
             return device.power_w * latency_s
         breakdown = self.vrex_system_power(device.num_cores)
-        io_power = breakdown.pcie_w + breakdown.storage_w
+        io_power = self.io_full_load_w(device.num_cores)
         baseline = breakdown.compute_w + breakdown.dram_w
         return (
             baseline * latency_s
@@ -148,7 +194,14 @@ class EnergyModel:
 
     @staticmethod
     def efficiency_gops_per_w(total_ops: float, energy_j: float) -> float:
-        """Energy efficiency in GOPS/W (= effective giga-ops per joule per second)."""
-        if energy_j <= 0:
+        """Energy efficiency in GOPS/W (= effective giga-ops per joule per second).
+
+        Zero energy means "nothing measured" and maps to 0.0 so sweep
+        tables stay finite; callers filtering on it must log what they
+        drop.  Negative energy is always an accounting bug and raises.
+        """
+        if energy_j < 0:
+            raise ValueError(f"negative energy is an accounting bug: {energy_j!r} J")
+        if energy_j == 0.0:  # simlint: exact — "no data" sentinel, set literally
             return 0.0
         return total_ops / energy_j / 1e9

@@ -125,11 +125,12 @@ class ResourceQueue:
     without occupying the server.
 
     ``record=False`` disables the ``served`` retention list — the queue
-    state is then just the ``_free_at`` float, so per-request cost is a
-    single max/add with no list growth.  Long-running callers that only
-    consume the returned :class:`QueuedService` (the serving scheduler
-    charges waits per job and never reads ``served``) should disable
-    retention; ``busy_s`` requires it.
+    state is then the ``_free_at`` float plus the O(1) busy accumulator,
+    so per-request cost is a single max/add with no list growth.
+    Long-running callers that only consume the returned
+    :class:`QueuedService` (the serving scheduler charges waits per job
+    and never reads ``served``) should disable retention; ``busy_s``
+    works either way.
     """
 
     def __init__(
@@ -139,6 +140,7 @@ class ResourceQueue:
         self.record = record
         self._free_at = 0.0
         self.served: list[QueuedService] = []
+        self._busy_total_s = 0.0
         self._sanitize = _resolve_sanitize(sanitize)
         self._last_arrival = float("-inf")
 
@@ -151,6 +153,7 @@ class ResourceQueue:
         """Forget all served requests and free the server."""
         self._free_at = 0.0
         self.served = []
+        self._busy_total_s = 0.0
         self._last_arrival = float("-inf")
 
     def enqueue(self, arrival_s: float, service_s: float) -> QueuedService:
@@ -173,18 +176,19 @@ class ResourceQueue:
         start = max(arrival_s, self._free_at)
         request = QueuedService(arrival_s, start, service_s)
         self._free_at = request.finish_s
+        self._busy_total_s += service_s
         if self.record:
             self.served.append(request)
         return request
 
     def busy_s(self) -> float:
-        """Total service time the resource has delivered (needs ``record``)."""
-        if not self.record:
-            raise ValueError(
-                f"resource {self.name!r} was created with record=False; "
-                "busy_s requires the served-request retention list"
-            )
-        return sum(request.service_s for request in self.served)
+        """Total service time the resource has delivered, O(1).
+
+        Maintained as a running accumulator in ``enqueue`` (grant order),
+        so it is exact — bit-identical to summing ``served`` in order —
+        and available under ``record=False`` too.
+        """
+        return self._busy_total_s
 
 
 class EventLoop:

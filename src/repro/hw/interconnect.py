@@ -35,12 +35,19 @@ class InterconnectSpec:
     overhead.  Shard migrations move whole per-bank shards — large
     contiguous transfers — so a single flat efficiency stands in for the
     PCIe model's granularity curve.
+
+    ``active_power_w`` is drawn while the link is moving bytes (charged
+    against ``busy_s``); ``pj_per_byte`` is the per-byte switching
+    energy.  Both default to 0.0 so the free interconnect — and every
+    spec built before the energy plane — stays energy-neutral.
     """
 
     name: str
     bandwidth_gbps: float
     latency_us: float = 5.0
     efficiency: float = 0.9
+    active_power_w: float = 0.0
+    pj_per_byte: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.bandwidth_gbps > 0:
@@ -51,6 +58,12 @@ class InterconnectSpec:
             raise ValueError(f"latency_us must be non-negative, got {self.latency_us}")
         if not 0.0 < self.efficiency <= 1.0:
             raise ValueError(f"efficiency must lie in (0, 1], got {self.efficiency}")
+        if self.active_power_w < 0:
+            raise ValueError(
+                f"active_power_w must be non-negative, got {self.active_power_w}"
+            )
+        if self.pj_per_byte < 0:
+            raise ValueError(f"pj_per_byte must be non-negative, got {self.pj_per_byte}")
 
     def transfer_time_s(self, num_bytes: float) -> float:
         """Seconds to move ``num_bytes`` device-to-device."""
@@ -71,15 +84,23 @@ FREE_INTERCONNECT = InterconnectSpec(
     name="free", bandwidth_gbps=math.inf, latency_us=0.0, efficiency=1.0
 )
 
-#: NVLink-class device-to-device fabric (per-direction).
-NVLINK4 = InterconnectSpec(name="NVLink4", bandwidth_gbps=450.0, latency_us=2.0)
+#: NVLink-class device-to-device fabric (per-direction).  ~1 pJ/bit
+#: SerDes energy plus the PHY's active envelope.
+NVLINK4 = InterconnectSpec(
+    name="NVLink4", bandwidth_gbps=450.0, latency_us=2.0,
+    active_power_w=12.0, pj_per_byte=8.0,
+)
 
 #: PCIe-switch peer-to-peer path between co-located accelerators.
-PCIE5_SWITCH = InterconnectSpec(name="PCIe5 switch", bandwidth_gbps=64.0, latency_us=5.0)
+PCIE5_SWITCH = InterconnectSpec(
+    name="PCIe5 switch", bandwidth_gbps=64.0, latency_us=5.0,
+    active_power_w=9.0, pj_per_byte=16.0,
+)
 
 #: Datacenter Ethernet between serving hosts (RDMA-style latency).
 ETHERNET_100G = InterconnectSpec(
-    name="100G Ethernet", bandwidth_gbps=12.5, latency_us=50.0
+    name="100G Ethernet", bandwidth_gbps=12.5, latency_us=50.0,
+    active_power_w=18.0, pj_per_byte=40.0,
 )
 
 
@@ -128,7 +149,6 @@ class InterconnectLink(ResourceQueue):
         self.transfers: list[ShardTransfer] = []
         self.total_bytes = 0.0
         self.num_transfers = 0
-        self._busy_total_s = 0.0
         self._order_floor_s = 0.0
 
     def ship(
@@ -163,14 +183,20 @@ class InterconnectLink(ResourceQueue):
         )
         self.total_bytes += transfer.num_bytes
         self.num_transfers += 1
-        self._busy_total_s += service.service_s
         if self.record:
             self.transfers.append(transfer)
         return transfer
 
-    def busy_s(self) -> float:
-        """Seconds the link has spent moving shards (O(1), any ``record``)."""
-        return self._busy_total_s
+    def transfer_energy_j(self) -> float:
+        """Energy charged to shard movement on this link so far (O(1)).
+
+        Active link power over the busy seconds plus per-byte switching
+        energy; 0.0 over the free interconnect by construction.
+        """
+        return (
+            self.spec.active_power_w * self.busy_s()
+            + self.spec.pj_per_byte * self.total_bytes * 1e-12
+        )
 
     def backlog_s(self, now_s: float) -> float:
         """Transfer work still queued on the link at ``now_s`` (O(1)).

@@ -31,6 +31,12 @@ class VRexCoreConfig:
     frequency_hz: float = 800e6
     lxe_sram_kib: float = 384.0
     dre_sram_kib: float = 20.125
+    # System-integration overrides.  ``None`` keeps the Table I defaults
+    # derived from the core count (LPDDR5/PCIe3x4 at <=8 cores, HBM2e/
+    # PCIe4x16 above); a non-default deployment sets them here so every
+    # power/energy path sees the same figures.
+    dram_w: float | None = None
+    pcie_lanes: int | None = None
 
     @property
     def dpe_macs_per_cycle(self) -> int:

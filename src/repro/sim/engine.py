@@ -68,6 +68,7 @@ from repro.sim.jobtable import (
     TL_PCIE,
     TL_VISION,
 )
+from repro.sim.energy import EnergyInputs
 from repro.sim.scheduler import (
     FRAME_JOB,
     GENERATION_JOB,
@@ -115,6 +116,10 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
     max_depth = cfg.max_queue_depth
     drop_late = cfg.drop_late
     residency = ctx.residency_admission
+    energy_admission = ctx.energy_admission
+    baseline_w = ctx.baseline_w
+    io_w = ctx.io_w
+    energy_budget = cfg.energy_budget_j_per_token
 
     # sanitizer state: the engine inlines its queue/ring internals, so the
     # order and lifecycle checks are inlined here too (one predictable
@@ -147,6 +152,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
     st_cold: list = []
     st_solo_warm: list = []
     st_solo_cold: list = []
+    st_tokens: list = []
+    st_solo: list = []
     for stage_map in priced:
         for kind_name in (FRAME_JOB, QUESTION_JOB, GENERATION_JOB):
             stage = stage_map[kind_name]
@@ -162,6 +169,8 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
             st_cold.append(_memoized(stage.cold_time_s))
             st_solo_warm.append(stage.solo_warm_s)
             st_solo_cold.append(stage.solo_cold_s)
+            st_tokens.append(stage.tokens)
+            st_solo.append(stage.solo_s)
 
     # packed subkey bases: rank of (session_id, stream) in the run's sorted
     # key set makes integer subkey order == the EventLoop's tuple order
@@ -247,9 +256,13 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
     ps_ring = IndexRing(max(1, 2 * num_jobs), 1) if timesliced else None
     ps_running = -1
 
-    # shared FCFS servers: their whole mutable state is one float each
+    # shared FCFS servers: their whole mutable state is one float each,
+    # plus a busy-seconds accumulator feeding the energy plane (added in
+    # grant order, matching ResourceQueue._busy_total_s bit for bit)
     dre_free = 0.0
     link_free = 0.0
+    dre_busy = 0.0
+    link_busy = 0.0
 
     # per-(stream, kind) sharded-fetch cache: a fully-warm fetch's split —
     # and hence its priced makespan — stays valid until *any* occupancy
@@ -427,6 +440,32 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                 return 1  # ADM_EVICT
         return ADM_DEFER
 
+    def energy_decision(job: int, s: int) -> int:
+        """Admit / defer one arriving job against the J/token budget.
+
+        Mirrors the reference ``energy_decision`` float op for float op:
+        device baseline power over the estimated sojourn (stream backlog
+        priced at the solo latency, plus the shared compute backlog in
+        timesliced mode, plus the job's own solo latency) and full-load
+        IO power over the fetch, divided by the job's useful tokens.
+        """
+        b = s * 3 + kinds[job]
+        if not st_active[b] or st_tokens[b] <= 0:
+            return 0
+        backlog_jobs = ring_depth[s] + (1 if slot_busy[s] else 0)
+        compute_backlog = 0.0
+        if timesliced:
+            for p in ps_ring.items(0):
+                compute_backlog += psub_work[p] - psub_served[p]
+            if ps_running >= 0:
+                compute_backlog += psub_work[ps_running] - psub_served[ps_running]
+        solo = st_solo[b]
+        sojourn = backlog_jobs * solo + compute_backlog + solo
+        marginal = (baseline_w * sojourn + io_w * st_fetch[b]) / st_tokens[b]
+        if marginal > energy_budget:
+            return ADM_DEFER
+        return 0
+
     # ring internals inlined into the per-event closures: a push or pop is
     # two list stores, no method call
     ring_next = ring._next
@@ -467,6 +506,18 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                 n_rec = i + 1
                 return
             j_adm[job] = decision
+        elif energy_admission and energy_decision(job, s) == ADM_DEFER:
+            if sanitize:
+                table.san_record(job)
+            i = n_rec
+            rec_job[i] = job
+            rec_arrival[i] = t
+            rec_start[i] = t
+            rec_finish[i] = t
+            rec_dropped[i] = True
+            rec_admission[i] = ADM_DEFER
+            n_rec = i + 1
+            return
         if busy:
             tail = ring_tail[s]
             if tail < 0:
@@ -642,6 +693,7 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                         j_dre[job] = served_at - now
                         pend = served_at + prediction_s
                         dre_free = pend
+                        dre_busy += prediction_s
                     else:
                         pend = now + prediction_s
                     j_pend[job] = pend
@@ -667,6 +719,7 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                     dre_wait = served_at - now
                     pend = served_at + prediction_s
                     dre_free = pend
+                    dre_busy += prediction_s
                     j_dre[job] = dre_wait
                 else:
                     pend = now + prediction_s
@@ -716,6 +769,7 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
                 transfer_start = now if now >= link_free else link_free
                 fetch_end = transfer_start + fetch
                 link_free = fetch_end
+                link_busy += fetch
             j_pcie[job] = transfer_start - now
             tl_append((job, TL_PCIE, transfer_start, fetch))
             s = streams[job]
@@ -802,6 +856,7 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
             transfer_start = now if now >= link_free else link_free
             fetch_end = transfer_start + fetch
             link_free = fetch_end
+            link_busy += fetch
             j_pcie[job] = transfer_start - now
             j_trp[job] = True
             j_trs[job] = transfer_start
@@ -841,4 +896,10 @@ def run_array(ctx: _RunContext) -> ScheduleResult:
         columns=columns,
         table=table,
         timesliced=timesliced,
+        energy_inputs=EnergyInputs(
+            device=ctx.system.device,
+            priced=priced,
+            dre_busy_s=dre_busy,
+            link_busy_s=link_busy,
+        ),
     )

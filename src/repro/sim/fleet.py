@@ -589,6 +589,68 @@ class FleetResult:
             return 0.0
         return max(r.finish_s for r in served) - min(r.arrival_s for r in served)
 
+    def energy(self, model=None, window_s: float | None = None, sanitize=None):
+        """Fleet-wide per-resource energy rollup.
+
+        Every active device is priced over the *fleet* window (a device
+        idling after its last local job still burns static power), with
+        rows prefixed ``d<i>:`` — the same namespacing as
+        :attr:`timeline` — plus one row charging migration/steal
+        transfers to the interconnect (active link power over its busy
+        seconds plus per-byte switching energy).  With one device this
+        delegates to the device report unchanged, preserving the M=1
+        bit-exactness guarantee (the free interconnect contributes
+        exactly nothing).  Devices that never received a session are not
+        charged — the fleet prices the serving run, not the rack.
+        """
+        if len(self.devices) == 1 and self.devices[0].schedule is not None:
+            return self.devices[0].schedule.energy(model=model, window_s=window_s)
+        from repro.sim.energy import (
+            ResourceEnergy,
+            _window_s,
+            merge_reports,
+            schedule_energy,
+        )
+
+        runs = [run for run in self.devices if run.schedule is not None]
+        window = window_s
+        if window is None:
+            window = self.interconnect.free_at_s  # transfers may outlast jobs
+            for run in runs:
+                span = _window_s(run.schedule)
+                if span > window:
+                    window = span
+        reports = [
+            schedule_energy(
+                run.schedule,
+                run.schedule.energy_inputs,
+                model=model,
+                window_s=window,
+                name_prefix=f"d{run.device}:",
+                sanitize=False,  # conservation is checked once, on the merge
+            )
+            for run in runs
+        ]
+        spec = self.interconnect.spec
+        link_row = ResourceEnergy(
+            name=f"interconnect:{spec.name}",
+            busy_power_w=spec.active_power_w,
+            busy_s=self.interconnect.busy_s(),
+            window_s=window,
+            busy_j=self.interconnect.transfer_energy_j(),
+            idle_j=0.0,
+        )
+        report = merge_reports(
+            reports, extra_rows=(link_row,), system=self.system, window_s=window
+        )
+        from repro.devtools.sanitizer import resolve
+
+        if resolve(sanitize):
+            from repro.sim.energy import assert_conserved
+
+            assert_conserved(report)
+        return report
+
 
 class FleetScheduler:
     """Routes sessions onto a fleet of M independent serving devices.

@@ -72,6 +72,7 @@ from repro.sim.batched import (
     validate_compute_policy,
     validate_quantum,
 )
+from repro.sim.energy import EnergyInputs
 from repro.sim.jobtable import (
     ADM_DEFER,
     ADM_EVICT,
@@ -123,14 +124,15 @@ _PRIO_LINK = PRIO_LINK
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
 
 #: Admission-control policies of the scheduler.
-ADMISSION_POLICIES = ("backlog", "residency")
+ADMISSION_POLICIES = ("backlog", "residency", "energy")
 
 #: Admission outcomes recorded per job.  ``"admit"`` (served, no memory
 #: action), ``"evict"`` (served after cold-shard eviction promoted the
 #: stream's shards), ``"backlog"`` (dropped at the queue-depth bound) and
-#: ``"defer"`` (shed by the residency controller: even after any possible
-#: promotion the job could not meet its deadline given the compute backlog
-#: it would join).
+#: ``"defer"`` (shed by an admission controller: the residency policy
+#: sheds a job that could not meet its deadline even after promotion;
+#: the energy policy sheds a job whose marginal J/token estimate busts
+#: the configured budget).
 ADMIT, EVICT, BACKLOG_DROP, DEFER = "admit", "evict", "backlog", "defer"
 
 
@@ -170,6 +172,15 @@ class SchedulerConfig:
     promotion could meet the deadline.  Residency admission requires a
     ``deadline_s`` and a scheduler plane built with a memory plane
     (:class:`repro.hw.memory.sharding.ShardedKVHierarchy`).
+
+    ``admission="energy"`` defers a job when its *marginal energy per
+    token* — the device baseline charged over the sojourn the job would
+    see (its backlog-scaled wait plus its own solo latency) plus
+    full-load IO power over its fetch — exceeds
+    ``energy_budget_j_per_token``.  Under light load the estimate is
+    near the solo J/token floor and everything admits; under overload
+    the sojourn term inflates the estimate and the controller sheds the
+    jobs whose queueing would burn the most joules per useful token.
     """
 
     deadline_s: float | None = None
@@ -178,6 +189,7 @@ class SchedulerConfig:
     compute: str = "private"
     quantum_s: float = DEFAULT_QUANTUM_S
     admission: str = "backlog"
+    energy_budget_j_per_token: float | None = None
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -193,6 +205,18 @@ class SchedulerConfig:
         validate_admission_policy(self.admission)
         if self.admission == "residency" and self.deadline_s is None:
             raise ValueError("admission='residency' requires a deadline_s")
+        if self.admission == "energy" and self.energy_budget_j_per_token is None:
+            raise ValueError(
+                "admission='energy' requires an energy_budget_j_per_token"
+            )
+        if (
+            self.energy_budget_j_per_token is not None
+            and self.energy_budget_j_per_token <= 0
+        ):
+            raise ValueError(
+                "energy_budget_j_per_token must be positive, got "
+                f"{self.energy_budget_j_per_token}"
+            )
 
 
 @dataclass(frozen=True)
@@ -395,6 +419,7 @@ class ScheduleResult:
         columns: RecordColumns | None = None,
         table=None,
         timesliced: bool = False,
+        energy_inputs=None,
     ):
         self.system = system
         self.config = config
@@ -403,6 +428,9 @@ class ScheduleResult:
         self.oom = oom
         #: evolved per-run memory plane (None when the plane has no memory)
         self.memory = memory
+        #: retained pricing/residency inputs of the energy plane
+        #: (:class:`repro.sim.energy.EnergyInputs`; None on legacy paths)
+        self.energy_inputs = energy_inputs
         #: ``(time_s, per-bank warm bytes)`` at every occupancy change
         self.bank_occupancy_trajectory = (
             [] if bank_occupancy_trajectory is None else bank_occupancy_trajectory
@@ -548,6 +576,25 @@ class ScheduleResult:
             )
         return _summarize("fleet", self.jobs(kind=kind), percentiles)
 
+    def energy(self, model=None, window_s: float | None = None):
+        """Per-resource busy/idle energy of this run.
+
+        Returns an :class:`repro.sim.energy.EnergyReport` priced from
+        the run's residency accumulators and served-job demand totals;
+        ``window_s`` widens the accounting window (a fleet rollup prices
+        each device over the fleet-wide span).  Both engines retain the
+        same inputs, so the report is bit-identical across them.
+        """
+        if self.energy_inputs is None:
+            raise ValueError(
+                "this ScheduleResult carries no energy accounting inputs"
+            )
+        from repro.sim.energy import schedule_energy
+
+        return schedule_energy(
+            self, self.energy_inputs, model=model, window_s=window_s
+        )
+
 
 @dataclass
 class _PricedStage:
@@ -559,6 +606,12 @@ class _PricedStage:
     and the warm/cold channel pricers.  ``solo_warm_s`` / ``solo_cold_s``
     bracket the job's no-queueing latency between a fully-promoted and a
     fully-demoted shard set — the admission controller's estimate inputs.
+
+    ``tokens`` / ``flops`` / ``dram_bytes`` are the job's useful-work and
+    traffic totals (vision included for frames), consumed by the energy
+    plane's post-pass; ``solo_s`` is the no-queueing latency at the
+    registration residency, the energy admission policy's sojourn
+    primitive.
     """
 
     active: bool
@@ -573,6 +626,10 @@ class _PricedStage:
     cold_time_s: object = None
     solo_warm_s: float = 0.0
     solo_cold_s: float = 0.0
+    tokens: int = 0
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    solo_s: float = 0.0
 
 
 class _Job:
@@ -653,6 +710,11 @@ class _RunContext:
     memory: ShardedKVHierarchy | None
     priced: list[dict[str, _PricedStage]]
     residency_admission: bool
+    #: energy-admission inputs: the policy flag and the run-constant
+    #: baseline / IO power rates its marginal-J/token estimate charges
+    energy_admission: bool = False
+    baseline_w: float = 0.0
+    io_w: float = 0.0
 
 
 class ServingScheduler:
@@ -791,7 +853,7 @@ class ServingScheduler:
         device = base.device_for(system)
         is_vrex = isinstance(device, VRexAccelerator)
         num_layers = base.llm.model.num_layers
-        vision_each = base._vision_time(system, 1)[0]
+        vision_each, vision_cost = base._vision_time(system, 1)
         frame_overlaps = system.policy.overlap_fetch  # FRAME_STAGE rule
 
         memory = self.plane._memory_for(system, profiles)
@@ -801,6 +863,15 @@ class ServingScheduler:
                 "admission='residency' requires a BatchLatencyModel built with "
                 "a memory plane (ShardedKVHierarchy)"
             )
+        energy_admission = self.config.admission == "energy"
+        spec = system.device
+        if spec.kind == "vrex":
+            breakdown = base.energy.vrex_system_power(spec.num_cores)
+            baseline_w = breakdown.compute_w + breakdown.dram_w
+            io_w = base.energy.io_full_load_w(spec.num_cores)
+        else:
+            baseline_w = spec.power_w
+            io_w = 0.0
 
         priced = self._priced_stages(
             system,
@@ -811,6 +882,7 @@ class ServingScheduler:
             is_vrex,
             num_layers,
             vision_each,
+            vision_cost,
             frame_overlaps,
         )
         ctx = _RunContext(
@@ -827,6 +899,9 @@ class ServingScheduler:
             memory=memory,
             priced=priced,
             residency_admission=residency_admission,
+            energy_admission=energy_admission,
+            baseline_w=baseline_w,
+            io_w=io_w,
         )
         if self.engine == "reference":
             return self._run_reference(ctx)
@@ -847,6 +922,7 @@ class ServingScheduler:
         is_vrex: bool,
         num_layers: int,
         vision_each: float,
+        vision_cost,
         frame_overlaps: bool,
     ) -> list[dict[str, _PricedStage]]:
         base = self.plane.base
@@ -870,12 +946,17 @@ class ServingScheduler:
                 ):
                     return cached_priced
 
-        def price(profile: StreamProfile, q_len: int | None, stage: str, vision_s: float, overlaps: bool) -> _PricedStage:
+        def price(profile: StreamProfile, q_len: int | None, stage: str, vision_s: float, overlaps: bool, vision_work=None) -> _PricedStage:
             demand = self.plane._stream_demand(system, profile, q_len, stage, memory=memory)
             if not demand.active:
                 return _PricedStage(False, False, overlaps, 0.0, 0.0, 0.0, 0.0)
             compute_s = device.dense_time_s(demand.compute_cost) * num_layers
             prediction_s = base._price_prediction_parts(system, demand.parts) * num_layers
+            flops = demand.compute_cost.flops * num_layers
+            dram_bytes = demand.compute_cost.dram_bytes * num_layers
+            if vision_work is not None:
+                flops += vision_work.flops
+                dram_bytes += vision_work.dram_bytes
             priced_stage = _PricedStage(
                 active=True,
                 on_dre=demand.parts is not None and demand.parts.on_dre,
@@ -884,6 +965,17 @@ class ServingScheduler:
                 compute_s=compute_s,
                 prediction_s=prediction_s,
                 fetch_s=demand.fetch_service_s * num_layers,
+                tokens=int(q_len),
+                flops=flops,
+                dram_bytes=dram_bytes,
+            )
+            priced_stage.solo_s = _solo_latency(
+                is_vrex,
+                overlaps,
+                vision_s,
+                compute_s,
+                prediction_s,
+                priced_stage.fetch_s,
             )
             if memory is not None and demand.fetch_bytes > 0:
                 priced_stage.fetch_bytes_layer = demand.fetch_bytes
@@ -916,6 +1008,7 @@ class ServingScheduler:
                     FRAME_STAGE,
                     vision_each,
                     frame_overlaps,
+                    vision_work=vision_cost,
                 ),
                 QUESTION_JOB: price(
                     profile, q_tokens[stream], FRAME_STAGE, 0.0, frame_overlaps
@@ -945,6 +1038,9 @@ class ServingScheduler:
         memory = ctx.memory
         priced = ctx.priced
         residency_admission = ctx.residency_admission
+        energy_admission = ctx.energy_admission
+        baseline_w = ctx.baseline_w
+        io_w = ctx.io_w
         num_streams = len(profiles)
 
         loop = EventLoop()
@@ -1051,6 +1147,31 @@ class ServingScheduler:
                     return EVICT
             return DEFER
 
+        def energy_decision(job: _Job) -> str:
+            """Admit or defer one arriving job against the J/token budget.
+
+            The marginal-energy estimate charges the device baseline over
+            the sojourn the job would see — the stream's backlog priced
+            at the solo latency, the shared compute backlog (timesliced
+            policy only), plus the job's own solo latency — and the
+            full-load IO power over its fetch, per useful token.  A
+            zero-token job (inactive stage) carries no estimate and
+            always admits.
+            """
+            stage = priced[job.stream][job.kind]
+            if not stage.active or stage.tokens <= 0:
+                return ADMIT
+            slot = slots[job.stream]
+            backlog_jobs = slot.queue_depth + (1 if slot.busy else 0)
+            compute_backlog = (
+                compute_server.backlog_s() if compute_server is not None else 0.0
+            )
+            sojourn = backlog_jobs * stage.solo_s + compute_backlog + stage.solo_s
+            marginal = (baseline_w * sojourn + io_w * stage.fetch_s) / stage.tokens
+            if marginal > cfg.energy_budget_j_per_token:
+                return DEFER
+            return ADMIT
+
         def submit(job: _Job) -> None:
             slot = slots[job.stream]
             if (
@@ -1068,6 +1189,10 @@ class ServingScheduler:
                     record(job, job.arrival_s, dropped=True)
                     return
                 job.admission = decision
+            elif energy_admission and energy_decision(job) == DEFER:
+                job.admission = DEFER
+                record(job, job.arrival_s, dropped=True)
+                return
             slot.acquire(loop.now_s, lambda grant, job=job: begin(job, grant.start_s))
 
         def begin(job: _Job, start_s: float) -> None:
@@ -1274,5 +1399,11 @@ class ServingScheduler:
             oom=self.plane._batched_oom(system, profiles),
             memory=memory,
             bank_occupancy_trajectory=trajectory,
+            energy_inputs=EnergyInputs(
+                device=system.device,
+                priced=priced,
+                dre_busy_s=dre.busy_s(),
+                link_busy_s=link.busy_s(),
+            ),
         )
         return result

@@ -7,6 +7,7 @@ import pytest
 from repro.devtools.sanitizer import ENV_VAR, sanitize_enabled
 from repro.experiments import (
     batched_serving,
+    energy_serving,
     fig04_motivation,
     fig13_latency_energy,
     fig14_e2e_breakdown,
@@ -54,6 +55,48 @@ class TestFig13:
     def test_speedup_grows_with_cache_initially(self, results):
         edge = results["edge"]
         assert edge.frame_speedup_b1[10_000] > edge.frame_speedup_b1[1_000]
+
+    def test_energy_headline_ranges(self, results):
+        """Post-fix regression pins: ``inference_energy_j`` charges the
+        IO path at full-load watts during busy seconds, which moves the
+        baseline (PCIe-bound) energies and hence every gain ratio."""
+        edge = results["edge"]
+        server = results["server"]
+        assert min(edge.energy_gain_frame_b1.values()) == pytest.approx(
+            2.653, rel=1e-3
+        )
+        assert max(edge.energy_gain_frame_b1.values()) == pytest.approx(
+            9.999, rel=1e-3
+        )
+        assert max(edge.energy_gain_tpot_b1.values()) == pytest.approx(
+            14.845, rel=1e-3
+        )
+        assert max(server.energy_gain_frame_b1.values()) == pytest.approx(
+            12.133, rel=1e-3
+        )
+        assert max(server.energy_gain_tpot_b1.values()) == pytest.approx(
+            19.239, rel=1e-3
+        )
+
+    def test_gain_series_logs_dropped_points(self, capsys):
+        """The ``base_eff[k] > 0`` filter must say what it drops instead
+        of silently narrowing the headline range."""
+        gains = fig13_latency_energy._gain_series(
+            {1_000: 2.0, 10_000: 3.0},
+            {1_000: 0.0, 10_000: 1.5},
+            "edge/frame",
+            "AGX + FlexGen",
+        )
+        assert gains == {10_000: 2.0}
+        out = capsys.readouterr().out
+        assert "dropping kv=[1000]" in out
+        assert "AGX + FlexGen" in out
+
+    def test_main_sanitize_flag_arms_sanitizer(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        fig13_latency_energy.main(["--sanitize"])
+        assert sanitize_enabled()
+        assert "edge" in capsys.readouterr().out
 
 
 class TestFig14:
@@ -109,6 +152,12 @@ class TestFig18:
         assert vrex.achieved_fraction > flexgen.achieved_fraction
         assert result.utilisation_gain("V-Rex8", "AGX + FlexGen") > 2.0
         assert flexgen.achieved_fraction < 0.2
+
+    def test_main_sanitize_flag_arms_sanitizer(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        fig18_roofline.main(["--sanitize"])
+        assert sanitize_enabled()
+        assert "V-Rex8" in capsys.readouterr().out
 
 
 class TestBatchedServing:
@@ -341,6 +390,50 @@ class TestShardedMemory:
         assert "Sharded memory" in out and "best bounded point" in out
 
 
+class TestEnergyServing:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return energy_serving.run_load_sweep(
+            num_streams=4, frames_per_stream=6, load_factors=(0.4, 1.2)
+        )
+
+    def test_rows_fully_priced(self, sweep):
+        assert len(sweep.rows) == 2
+        for row in sweep.rows:
+            assert row["total_j"] > 0.0
+            assert row["busy_j"] + row["idle_j"] == pytest.approx(
+                row["total_j"], rel=1e-12
+            )
+            assert row["j_per_token"] > 0.0
+            assert row["usd_per_1m_queries"] > 0.0
+            assert 0.0 <= row["link_utilization"] <= 1.0
+            assert row["p99_ms"] > 0.0
+
+    def test_j_per_query_falls_as_the_window_fills(self, sweep):
+        """Idle (always-on) power dominates at low load, so packing more
+        work into the window cheapens each query — the consolidation
+        economics the README table shows."""
+        light = sweep.row(0.4)
+        heavy = sweep.row(1.2)
+        assert heavy["j_per_query"] < light["j_per_query"]
+        assert heavy["link_utilization"] > light["link_utilization"]
+        assert heavy["idle_j"] < light["idle_j"]
+
+    def test_unknown_row_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.row(3.7)
+
+    def test_main_prints_and_sanitize_flag_arms(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        energy_serving.main(["--sanitize"])
+        assert sanitize_enabled()
+        out = capsys.readouterr().out
+        assert "Serving energy vs load" in out
+        assert "Admission showdown" in out
+        assert "Per-resource energy" in out
+        assert "undercuts residency" in out
+
+
 class TestTable03:
     def test_breakdown_matches_paper(self):
         result = table03_area_power.run()
@@ -357,3 +450,9 @@ class TestTable03:
         table03_area_power.main()
         out = capsys.readouterr().out
         assert "Table III" in out and "DPE" in out
+
+    def test_main_sanitize_flag_arms_sanitizer(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        table03_area_power.main(["--sanitize"])
+        assert sanitize_enabled()
+        assert "Table III" in capsys.readouterr().out

@@ -407,6 +407,59 @@ class TestEnergyAndRoofline:
         assert ridge_point(54.0, 204.8) == pytest.approx(54e12 / 204.8e9)
 
 
+class TestEnergyModelFixes:
+    """Regressions for the inference-energy and power-model bug fixes."""
+
+    def test_full_load_io_helpers(self):
+        energy = EnergyModel()
+        assert energy.pcie_lanes(8) == 4
+        assert energy.pcie_lanes(48) == 16
+        assert energy.pcie_full_load_w(8) == pytest.approx(12.0)
+        assert energy.pcie_full_load_w(48) == pytest.approx(48.0)
+        assert energy.ssd_full_load_w(8) == pytest.approx(4.1)
+        assert energy.ssd_full_load_w(48) == 0.0
+        assert energy.io_full_load_w(8) == pytest.approx(16.1)
+        assert energy.io_full_load_w(48) == pytest.approx(48.0)
+
+    def test_busy_io_charged_at_full_load_not_derated(self):
+        """One busy link-second costs full-load watts, not the x0.5/x0.7
+        time-averaged derates of ``vrex_system_power`` (charging those per
+        busy second applied the derate twice)."""
+        energy = EnergyModel()
+        delta8 = energy.inference_energy_j(
+            VREX8, 1.0, pcie_busy_s=1.0
+        ) - energy.inference_energy_j(VREX8, 1.0)
+        assert delta8 == pytest.approx(16.1)
+        delta48 = energy.inference_energy_j(
+            VREX48, 1.0, pcie_busy_s=1.0
+        ) - energy.inference_energy_j(VREX48, 1.0)
+        assert delta48 == pytest.approx(48.0)
+        # the pre-fix value: derated pcie_w + storage_w of the breakdown
+        breakdown = energy.vrex_system_power(8)
+        assert breakdown.pcie_w + breakdown.storage_w == pytest.approx(8.87)
+        assert delta8 > breakdown.pcie_w + breakdown.storage_w
+
+    def test_efficiency_zero_is_sentinel_negative_raises(self):
+        assert EnergyModel.efficiency_gops_per_w(1e12, 0.0) == 0.0
+        with pytest.raises(ValueError, match="negative energy"):
+            EnergyModel.efficiency_gops_per_w(1e12, -1.0)
+
+    def test_device_power_honours_core_overrides(self):
+        """A non-default deployment's dram_w/pcie_lanes thread through to
+        every power path instead of silently reverting to the Table I
+        defaults keyed on core count."""
+        default = EnergyModel().device_power_w(VREX8)
+        tuned_model = EnergyModel(VRexCoreConfig(dram_w=10.0, pcie_lanes=8))
+        tuned = tuned_model.device_power_w(VREX8)
+        # +5 W DRAM override, +4 lanes at 3 W/lane derated x0.5
+        assert tuned == pytest.approx(default + 5.0 + 4 * 3.0 * 0.5)
+        assert tuned_model.dram_static_w(8) == 10.0
+        assert tuned_model.pcie_full_load_w(8) == pytest.approx(24.0)
+        assert tuned_model.io_full_load_w(8) == pytest.approx(24.0 + 4.1)
+        # GPU devices keep their measured envelope regardless of overrides
+        assert tuned_model.device_power_w(AGX_ORIN) == AGX_ORIN.power_w
+
+
 class TestResourceQueues:
     def test_fcfs_queueing_delay(self):
         queue = ResourceQueue("link")
